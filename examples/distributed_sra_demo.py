@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The distributed SRA protocol, message by message.
+
+Section 3 sketches a distributed version of the greedy algorithm: sites
+keep their own candidate lists, a leader owns LS and hands out the token
+round-robin, and every replication is broadcast so nearest-replica
+fields stay fresh.  This demo runs the message-level emulation, verifies
+it produces exactly the centralised SRA's scheme, and breaks down the
+protocol traffic — making the paper's "control messages have minor
+impact" claim inspectable.
+
+Run:  python examples/distributed_sra_demo.py
+"""
+
+import numpy as np
+
+from repro import SRA, WorkloadSpec, generate_instance
+from repro.distributed import DistributedSRA, MessageKind
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    instance = generate_instance(
+        WorkloadSpec(num_sites=14, num_objects=30, update_ratio=0.05,
+                     capacity_ratio=0.15),
+        rng=77,
+    )
+    print(f"Instance: {instance}\n")
+
+    central = SRA().run(instance)
+    distributed = DistributedSRA(leader_site=0).run(instance)
+
+    identical = np.array_equal(
+        central.scheme.matrix, distributed.scheme.matrix
+    )
+    print(f"Centralised SRA:  {central.summary()}")
+    print(
+        f"Distributed SRA:  {distributed.replications} replications in "
+        f"{distributed.token_rounds} token rounds"
+    )
+    print(f"Schemes bit-identical: {identical}\n")
+    assert identical, "protocol bug: distributed result diverged"
+
+    log = distributed.log
+    rows = [
+        [kind.value, log.count_by_kind[kind]]
+        for kind in MessageKind
+    ]
+    print(format_table(["message kind", "count"], rows))
+
+    print(
+        f"\nControl messages: {log.control_messages} "
+        f"(cost-free in the paper's model)"
+    )
+    print(
+        f"Replica payload traffic: {log.data_cost:,.0f} NTC — a one-off "
+        "cost, amortised against the recurring per-access savings of "
+        f"{central.savings_percent:.1f}%."
+    )
+
+
+if __name__ == "__main__":
+    main()

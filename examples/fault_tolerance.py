@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""What a site failure costs, and what hardening buys.
+
+The paper leaves fault tolerance to future work.  This example prices
+it: take a cost-optimal SRA placement, fail every site in turn
+(promoting surviving replicas to primary where needed), then *harden*
+the scheme to two replicas per object at the cheapest exact deltas and
+price the failures again.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro import CostModel, SRA, WorkloadSpec, generate_instance
+from repro.core.availability import (
+    expected_failure_impact,
+    failure_report,
+    harden_scheme,
+)
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    # a write-heavy workload keeps the cost-optimal scheme sparse, so
+    # single-replica objects (and hence real failure exposure) exist
+    instance = generate_instance(
+        WorkloadSpec(num_sites=10, num_objects=20, update_ratio=0.25,
+                     capacity_ratio=0.35),
+        rng=707,
+    )
+    model = CostModel(instance)
+    scheme = SRA().run(instance, model).scheme
+    print(f"Instance: {instance}")
+    print(f"SRA placement saves {model.savings_percent(scheme):.1f}% NTC\n")
+
+    rows = []
+    for site in range(instance.num_sites):
+        report = failure_report(instance, scheme, site)
+        rows.append(
+            [
+                site,
+                len(report.lost_objects),
+                len(report.promoted_primaries),
+                report.degraded_percent,
+            ]
+        )
+    print(
+        format_table(
+            ["failed site", "objects lost", "primaries promoted",
+             "survivors' cost +%"],
+            rows,
+            precision=2,
+            title="Single-site failures under the cost-optimal scheme",
+        )
+    )
+
+    hardened = harden_scheme(instance, scheme, min_degree=2, model=model)
+    premium = 100.0 * hardened.cost_premium / model.d_prime()
+    before = expected_failure_impact(instance, scheme)
+    after = expected_failure_impact(instance, hardened.scheme)
+    print(
+        f"\nHardening to >= 2 replicas/object: {hardened.added_replicas} "
+        f"replicas added, NTC premium {premium:+.2f}% of D' "
+        f"({len(hardened.unmet_objects)} objects unmet)."
+    )
+    print(
+        format_table(
+            ["metric", "before", "after"],
+            [
+                ["worst-case objects lost",
+                 before["worst_lost_objects"], after["worst_lost_objects"]],
+                ["mean survivors' cost +%",
+                 before["mean_degraded_percent"],
+                 after["mean_degraded_percent"]],
+                ["max survivors' cost +%",
+                 before["max_degraded_percent"],
+                 after["max_degraded_percent"]],
+            ],
+            precision=2,
+        )
+    )
+    print(
+        "\nA negative 'premium' is no accident: hardening places replicas "
+        "by the *exact*\nglobal cost delta, which also captures other "
+        "sites' reads rerouting to the new\ncopy — the effect SRA's local "
+        "benefit (Eq. 5) deliberately ignores.  The\nresilience pass thus "
+        "doubles as a cleanup of the greedy's blind spot, eliminating\n"
+        "worst-case object loss outright."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Re-running the paper's GA parameter tuning.
+
+Section 4 fixes ``N_p=50, N_g=80, mu_c=0.9, mu_m=0.01`` "after
+considering a series of experimental results", citing Grefenstette's
+classic ranges.  This example reruns a slice of that series with
+confidence intervals: sweep the mutation and crossover rates around the
+paper's choices and see whether they hold up at this scale.
+
+Run:  python examples/parameter_tuning.py
+"""
+
+from repro import GAParams, WorkloadSpec
+from repro.analysis import sweep_ga_parameter
+from repro.workload import generate_instances
+
+BASE = GAParams(population_size=20, generations=25)
+
+
+def main() -> None:
+    instances = generate_instances(
+        WorkloadSpec(num_sites=15, num_objects=30, update_ratio=0.05,
+                     capacity_ratio=0.15),
+        4,
+        rng=808,
+    )
+
+    mutation = sweep_ga_parameter(
+        instances,
+        "mutation_rate",
+        [0.0, 0.001, 0.01, 0.05, 0.2],
+        BASE,
+        seed=809,
+    )
+    print(mutation.render())
+    print(f"-> best here: mu_m = {mutation.best_value()} "
+          f"(paper uses 0.01, Grefenstette's range 0.001-0.01)\n")
+
+    crossover = sweep_ga_parameter(
+        instances,
+        "crossover_rate",
+        [0.0, 0.3, 0.6, 0.9],
+        BASE,
+        seed=810,
+    )
+    print(crossover.render())
+    print(f"-> best here: mu_c = {crossover.best_value()} "
+          f"(paper uses 0.9, Grefenstette's range 0.6-0.9)\n")
+
+    print(
+        "Note how flat the quality curves are (the CIs dwarf the "
+        "differences): with SRA\nseeding and elitism, the GA's *floor* is "
+        "already high, so these knobs mostly\ntrade runtime, not quality — "
+        "consistent with the paper fixing them once after a\nseries of "
+        "experiments and moving on.  What the sweep does show crisply is "
+        "the\ncost side: runtime rises steadily with both rates (more "
+        "constraint repair, more\nfresh chromosomes to evaluate)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: solve one Data Replication Problem three ways.
+
+Generates a Section 6.1 synthetic network (20 sites, 50 objects, 5%
+update ratio, 15% capacity), then places replicas with the greedy SRA,
+the genetic GRA and a random baseline, reporting the paper's quality
+metric — the percentage of network transfer cost (NTC) saved relative to
+keeping only primary copies.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CostModel,
+    GAParams,
+    GRA,
+    RandomReplication,
+    SRA,
+    WorkloadSpec,
+    generate_instance,
+)
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    spec = WorkloadSpec(
+        num_sites=20,
+        num_objects=50,
+        update_ratio=0.05,  # the paper's U = 5%
+        capacity_ratio=0.15,  # the paper's C = 15%
+    )
+    instance = generate_instance(spec, rng=2026)
+    print(f"Generated instance: {instance}")
+    print(f"Primary-only NTC (D'): {CostModel(instance).d_prime():,.0f}\n")
+
+    model = CostModel(instance)  # shared so the cache is reused
+    algorithms = [
+        RandomReplication(rng=1),
+        SRA(),
+        GRA(GAParams(population_size=24, generations=30), rng=2),
+    ]
+
+    rows = []
+    for algorithm in algorithms:
+        result = algorithm.run(instance, model)
+        rows.append(
+            [
+                result.algorithm,
+                result.savings_percent,
+                result.extra_replicas,
+                result.runtime_seconds,
+            ]
+        )
+
+    print(
+        format_table(
+            ["algorithm", "NTC saved %", "replicas created", "seconds"],
+            rows,
+            precision=3,
+        )
+    )
+    print(
+        "\nGRA finds the best scheme; SRA is orders of magnitude faster;\n"
+        "random placement shows how much of the gain is due to *informed*\n"
+        "placement rather than replication per se."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Tree networks: the paper's algorithms vs Wolfson-style ADR.
+
+Section 7 of the paper notes that Wolfson, Jajodia & Huang's adaptive
+algorithm finds optimal single-object schemes on *tree* networks but has
+unclear behaviour elsewhere.  This example runs the comparison both
+ways:
+
+1. on a random **tree** (ADR's home turf) — ADR should be competitive
+   with SRA/GRA despite using only local edge statistics;
+2. on the paper's random **mesh** — ADR is not applicable (it requires a
+   tree), which is exactly the generality argument the paper makes for
+   its topology-agnostic heuristics.
+
+Run:  python examples/tree_network_adr.py
+"""
+
+import numpy as np
+
+from repro import CostModel, GAParams, GRA, SRA, WorkloadSpec, generate_instance
+from repro.algorithms import ADRTree
+from repro.errors import TopologyError
+from repro.network import random_mesh_topology, random_tree_topology
+from repro.network.shortest_paths import floyd_warshall
+from repro.utils.tables import format_table
+
+M, N = 16, 30
+SEED = 404
+
+
+def run_on_tree() -> None:
+    topology = random_tree_topology(M, rng=SEED)
+    cost = floyd_warshall(topology.adjacency_matrix())
+    instance = generate_instance(
+        WorkloadSpec(num_sites=M, num_objects=N, update_ratio=0.05,
+                     capacity_ratio=0.3),
+        rng=SEED + 1,
+        cost=cost,
+    )
+    model = CostModel(instance)
+    results = [
+        ADRTree(topology).run(instance, model),
+        SRA().run(instance, model),
+        GRA(GAParams(population_size=20, generations=20), rng=2).run(
+            instance, model
+        ),
+    ]
+    print("On a random tree (ADR's home turf):")
+    print(
+        format_table(
+            ["algorithm", "NTC saved %", "replicas", "seconds"],
+            [
+                [r.algorithm, r.savings_percent, r.extra_replicas,
+                 r.runtime_seconds]
+                for r in results
+            ],
+            precision=3,
+        )
+    )
+    adr = results[0]
+    print(
+        f"\nADR converged in {adr.stats['epochs']} local-test epochs using "
+        "only per-edge aggregate statistics — no global optimisation — "
+        "and every per-object scheme it builds is a connected subtree."
+    )
+    print(
+        "Where it trails SRA/GRA, the reason is instructive: Wolfson's "
+        "model has no storage\nconstraint, so under tight capacities ADR "
+        "fills sites first-come-first-served while\nthe paper's "
+        "benefit-driven heuristics pick *which* objects deserve the "
+        "space — the\nknapsack dimension the DRP adds to the classic "
+        "file-allocation problem."
+    )
+
+
+def show_mesh_limitation() -> None:
+    mesh = random_mesh_topology(M, rng=SEED + 2)
+    print("\nOn the paper's random mesh:")
+    try:
+        ADRTree(mesh)
+    except TopologyError as exc:
+        print(f"  ADR refuses: {exc}")
+    print(
+        "  ...which is the paper's Section 7 point: SRA/GRA/AGRA only "
+        "need the cost matrix\n  and run on any topology."
+    )
+
+
+def main() -> None:
+    run_on_tree()
+    show_mesh_limitation()
+
+
+if __name__ == "__main__":
+    main()

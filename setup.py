@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so `pip install -e . --no-use-pep517`
+(legacy editable install) works on environments without the `wheel`
+package; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""Replica placement algorithms.
+
+Static (Sections 3-4):
+
+* :class:`SRA` — the paper's greedy Simple Replication Algorithm;
+* :class:`GRA` — the paper's Genetic Replication Algorithm;
+* baselines — no-replication, random-valid, read-only greedy;
+* :func:`solve_optimal` — exact branch-and-bound for tiny instances
+  (a quality oracle, not part of the paper).
+
+Adaptive (Section 5):
+
+* :class:`AGRA` — the Adaptive Genetic Replication Algorithm: per-object
+  micro-GA, transcription into a GRA population with Eq. 6 capacity
+  repair, optional mini-GRA refinement.
+"""
+
+from repro.algorithms.base import AlgorithmResult, ReplicationAlgorithm
+from repro.algorithms.sra import SRA
+from repro.algorithms.baselines import (
+    NoReplication,
+    RandomReplication,
+    ReadOnlyGreedy,
+)
+from repro.algorithms.adr_tree import ADRTree
+from repro.algorithms.localsearch import HillClimbing, SimulatedAnnealing
+from repro.algorithms.optimal import solve_optimal
+from repro.algorithms.gra import GAParams, GRA
+from repro.algorithms.agra import AGRA, AGRAParams
+
+__all__ = [
+    "AlgorithmResult",
+    "ReplicationAlgorithm",
+    "SRA",
+    "NoReplication",
+    "RandomReplication",
+    "ReadOnlyGreedy",
+    "ADRTree",
+    "HillClimbing",
+    "SimulatedAnnealing",
+    "solve_optimal",
+    "GAParams",
+    "GRA",
+    "AGRA",
+    "AGRAParams",
+]

@@ -1,0 +1,26 @@
+"""The Adaptive Genetic Replication Algorithm (AGRA) — Section 5."""
+
+from repro.algorithms.agra.params import AGRAParams
+from repro.algorithms.agra.engine import AGRA
+from repro.algorithms.agra.micro_ga import MicroGAResult, run_micro_ga
+from repro.algorithms.agra.transcription import (
+    repair_capacity,
+    transcribe_population,
+)
+from repro.algorithms.agra.policies import (
+    POLICY_NAMES,
+    AdaptationOutcome,
+    run_policy,
+)
+
+__all__ = [
+    "AGRAParams",
+    "AGRA",
+    "MicroGAResult",
+    "run_micro_ga",
+    "repair_capacity",
+    "transcribe_population",
+    "POLICY_NAMES",
+    "AdaptationOutcome",
+    "run_policy",
+]

@@ -1,0 +1,77 @@
+"""AGRA control parameters (Section 5).
+
+The paper keeps the per-object micro-GA deliberately small — "by keeping
+``A_p`` and ``A_g`` small (10, 50), AGRA is essentially a micro-GA" — with
+constant crossover and mutation rates of 80% and 1%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class AGRAParams:
+    """Tunable knobs of :class:`repro.algorithms.agra.AGRA`.
+
+    Attributes
+    ----------
+    population_size:
+        ``A_p`` — micro-GA population per changed object (paper: 10).
+    generations:
+        ``A_g`` — micro-GA generations per changed object (paper: 50).
+    crossover_rate:
+        Single-point crossover probability (paper: 0.8).
+    mutation_rate:
+        Per-bit flip probability (paper: 0.01).
+    elite_interval:
+        Elite re-injection cadence, mirroring GRA (paper: every 5).
+    random_init_fraction:
+        Share of the micro-GA population initialised randomly; the rest is
+        transcribed from previous GRA solutions (paper: one half).
+    """
+
+    population_size: int = 10
+    generations: int = 50
+    crossover_rate: float = 0.8
+    mutation_rate: float = 0.01
+    elite_interval: int = 5
+    random_init_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValidationError(
+                f"population_size must be >= 2, got {self.population_size}"
+            )
+        if self.generations < 0:
+            raise ValidationError(
+                f"generations must be >= 0, got {self.generations}"
+            )
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ValidationError(
+                f"crossover_rate must lie in [0, 1], got {self.crossover_rate}"
+            )
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValidationError(
+                f"mutation_rate must lie in [0, 1], got {self.mutation_rate}"
+            )
+        if self.elite_interval < 1:
+            raise ValidationError(
+                f"elite_interval must be >= 1, got {self.elite_interval}"
+            )
+        if not 0.0 <= self.random_init_fraction <= 1.0:
+            raise ValidationError(
+                "random_init_fraction must lie in [0, 1], got "
+                f"{self.random_init_fraction}"
+            )
+
+    def with_overrides(self, **kwargs: object) -> "AGRAParams":
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+#: the paper's fixed parameterisation
+PAPER_AGRA_PARAMS = AGRAParams()
+
+__all__ = ["AGRAParams", "PAPER_AGRA_PARAMS"]

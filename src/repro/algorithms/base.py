@@ -1,0 +1,115 @@
+"""Common interface of every replica placement algorithm."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.cost import CostModel
+from repro.core.problem import DRPInstance
+from repro.core.scheme import ReplicationScheme
+from repro.utils.rng import SeedLike
+from repro.utils.timers import Stopwatch
+
+
+@dataclass
+class AlgorithmResult:
+    """Outcome of one algorithm run.
+
+    Attributes
+    ----------
+    scheme:
+        The replication scheme found (always valid).
+    total_cost:
+        ``D`` of the scheme under the run's cost model.
+    d_prime:
+        ``D_prime`` (primary-only NTC) of the instance.
+    runtime_seconds:
+        Wall-clock spent inside :meth:`ReplicationAlgorithm.run`.
+    algorithm:
+        Human-readable algorithm name.
+    stats:
+        Algorithm-specific diagnostics (iterations, generations, ...).
+    """
+
+    scheme: ReplicationScheme
+    total_cost: float
+    d_prime: float
+    runtime_seconds: float
+    algorithm: str
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def savings_percent(self) -> float:
+        """The paper's quality metric: % NTC saved vs primary-only."""
+        if self.d_prime == 0.0:
+            return 0.0
+        return 100.0 * (self.d_prime - self.total_cost) / self.d_prime
+
+    @property
+    def fitness(self) -> float:
+        """Normalised fitness ``f = (D_prime - D) / D_prime``."""
+        if self.d_prime == 0.0:
+            return 0.0
+        return (self.d_prime - self.total_cost) / self.d_prime
+
+    @property
+    def extra_replicas(self) -> int:
+        """Replicas created beyond the mandatory primaries (Fig. 1b/1d)."""
+        return self.scheme.extra_replicas()
+
+    def summary(self) -> str:
+        return (
+            f"{self.algorithm}: savings={self.savings_percent:.2f}% "
+            f"replicas=+{self.extra_replicas} "
+            f"time={self.runtime_seconds:.4f}s"
+        )
+
+
+class ReplicationAlgorithm(abc.ABC):
+    """Base class: configure once, run on many instances.
+
+    Subclasses implement :meth:`_solve`; :meth:`run` wraps it with timing
+    and result packaging so every algorithm reports uniformly.
+    """
+
+    name: str = "algorithm"
+
+    @abc.abstractmethod
+    def _solve(
+        self, instance: DRPInstance, model: CostModel
+    ) -> "tuple[ReplicationScheme, Dict[str, object]]":
+        """Produce a valid scheme plus diagnostics for ``instance``."""
+
+    def make_cost_model(self, instance: DRPInstance) -> CostModel:
+        """Cost model used for this run; override to change accounting."""
+        return CostModel(instance)
+
+    def run(
+        self,
+        instance: DRPInstance,
+        model: Optional[CostModel] = None,
+    ) -> AlgorithmResult:
+        """Solve ``instance`` and package the outcome.
+
+        A pre-built ``model`` may be passed to share its per-object cost
+        cache across runs on the same instance (the experiment harness
+        does this when comparing algorithms).
+        """
+        model = model or self.make_cost_model(instance)
+        watch = Stopwatch()
+        with watch:
+            scheme, stats = self._solve(instance, model)
+        scheme.validate()
+        return AlgorithmResult(
+            scheme=scheme,
+            total_cost=model.total_cost(scheme),
+            d_prime=model.d_prime(),
+            runtime_seconds=watch.elapsed,
+            algorithm=self.name,
+            stats=stats,
+        )
+
+
+__all__ = ["AlgorithmResult", "ReplicationAlgorithm"]

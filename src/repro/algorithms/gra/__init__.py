@@ -1,0 +1,7 @@
+"""The Genetic Replication Algorithm (GRA) — Section 4 of the paper."""
+
+from repro.algorithms.gra.params import GAParams
+from repro.algorithms.gra.engine import GRA
+from repro.algorithms.gra.population import Chromosome, Population
+
+__all__ = ["GAParams", "GRA", "Chromosome", "Population"]

@@ -1,0 +1,92 @@
+"""Selection mechanisms (Section 4, "Selection mechanism").
+
+The paper replaces Holland's pure roulette wheel (large sampling error)
+with the **stochastic remainder** technique: each chromosome first gets
+the integer part of its proportionate offspring count deterministically,
+then the fractional parts compete on a roulette wheel for the remaining
+slots.  GRA applies it over an **enlarged sampling space** — the
+``(mu + lambda)`` pool of parents plus crossover and mutation offspring —
+while AGRA uses a regular sampling space for speed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.rng import weighted_choice
+
+
+def stochastic_remainder_selection(
+    fitness: np.ndarray,
+    count: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Select ``count`` indices from the pool proportionally to ``fitness``.
+
+    Expected copies of chromosome ``i`` are exactly
+    ``count * f_i / sum(f)``: the integer parts are allocated
+    deterministically, the fractional parts via roulette *without*
+    replacement of a wheel sector once it wins (classic stochastic
+    remainder sampling).  An all-zero fitness pool degenerates to uniform
+    random selection.
+    """
+    fitness = np.asarray(fitness, dtype=float)
+    if fitness.ndim != 1 or fitness.size == 0:
+        raise ValidationError("fitness must be a non-empty 1-D array")
+    if np.any(fitness < 0):
+        raise ValidationError(
+            "fitness must be non-negative (reset negative chromosomes first)"
+        )
+    if count < 0:
+        raise ValidationError(f"count must be >= 0, got {count}")
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+
+    total = float(fitness.sum())
+    if total <= 0.0:
+        return rng.integers(fitness.size, size=count).astype(np.int64)
+
+    expected = count * fitness / total
+    integral = np.floor(expected).astype(np.int64)
+    selected: List[int] = []
+    for idx, copies in enumerate(integral):
+        selected.extend([idx] * int(copies))
+
+    remaining = count - len(selected)
+    fractional = expected - integral
+    for _ in range(remaining):
+        winner = weighted_choice(fractional, rng)
+        selected.append(winner)
+        fractional[winner] = 0.0
+        if fractional.sum() <= 0.0:
+            fractional = expected - integral  # refill an exhausted wheel
+    out = np.asarray(selected[:count], dtype=np.int64)
+    rng.shuffle(out)
+    return out
+
+
+def roulette_selection(
+    fitness: np.ndarray,
+    count: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Holland's plain roulette wheel (kept for the selection ablation)."""
+    fitness = np.asarray(fitness, dtype=float)
+    if fitness.ndim != 1 or fitness.size == 0:
+        raise ValidationError("fitness must be a non-empty 1-D array")
+    if np.any(fitness < 0):
+        raise ValidationError("fitness must be non-negative")
+    if count < 0:
+        raise ValidationError(f"count must be >= 0, got {count}")
+    total = float(fitness.sum())
+    if total <= 0.0:
+        return rng.integers(fitness.size, size=count).astype(np.int64)
+    return rng.choice(
+        fitness.size, size=count, p=fitness / total
+    ).astype(np.int64)
+
+
+__all__ = ["stochastic_remainder_selection", "roulette_selection"]

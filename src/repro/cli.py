@@ -1,0 +1,257 @@
+"""The ``repro`` command-line interface.
+
+Subcommands:
+
+* ``generate`` — synthesise a Section 6.1 instance and save it as JSON;
+* ``solve``    — run an algorithm on a saved instance, report quality,
+  optionally save the scheme;
+* ``evaluate`` — re-evaluate a saved scheme (e.g. under a different
+  instance file with drifted patterns);
+* ``simulate`` — replay a request trace through the discrete-event
+  simulator and cross-check the analytic cost;
+* ``compare``  — run several algorithms over freshly generated
+  instances and print mean savings with confidence intervals;
+* ``figures``  — alias of ``repro-experiments`` (reproduce the paper's
+  figures).
+
+Examples
+--------
+::
+
+    repro generate --sites 20 --objects 50 --update-ratio 0.05 -o inst.json
+    repro solve inst.json --algorithm gra --save-scheme scheme.json
+    repro evaluate scheme.json
+    repro simulate scheme.json --duration 60
+    repro compare --sites 15 --objects 30 --instances 5 \
+        --algorithm sra --algorithm gra --algorithm hill-climbing
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.algorithms import (
+    GAParams,
+    GRA,
+    HillClimbing,
+    NoReplication,
+    RandomReplication,
+    ReadOnlyGreedy,
+    SRA,
+    SimulatedAnnealing,
+    solve_optimal,
+)
+from repro.analysis import compare_algorithms
+from repro.core import CostModel
+from repro.errors import ReproError
+from repro.io import (
+    load_instance,
+    load_scheme,
+    save_instance,
+    save_scheme,
+)
+from repro.sim import ReplicaSystem, Simulator
+from repro.workload import WorkloadSpec, generate_instance, generate_instances
+from repro.workload.trace import generate_trace
+
+#: algorithm name -> factory taking (seed, ga generations override)
+ALGORITHMS: Dict[str, Callable[..., object]] = {
+    "sra": lambda seed, gens: SRA(),
+    "gra": lambda seed, gens: GRA(
+        GAParams(generations=gens) if gens else GAParams(), rng=seed
+    ),
+    "hill-climbing": lambda seed, gens: HillClimbing(rng=seed),
+    "annealing": lambda seed, gens: SimulatedAnnealing(rng=seed),
+    "random": lambda seed, gens: RandomReplication(rng=seed),
+    "read-only-greedy": lambda seed, gens: ReadOnlyGreedy(),
+    "none": lambda seed, gens: NoReplication(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Data replication algorithms (SRA / GRA / AGRA) from "
+            "Loukopoulos & Ahmad, ICDCS 2000."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    gen = sub.add_parser("generate", help="synthesise a DRP instance")
+    gen.add_argument("--sites", type=int, required=True)
+    gen.add_argument("--objects", type=int, required=True)
+    gen.add_argument("--update-ratio", type=float, default=0.05)
+    gen.add_argument("--capacity-ratio", type=float, default=0.15)
+    gen.add_argument("--seed", type=int, default=None)
+    gen.add_argument("-o", "--output", required=True)
+
+    solve = sub.add_parser("solve", help="solve a saved instance")
+    solve.add_argument("instance")
+    solve.add_argument(
+        "--algorithm",
+        choices=sorted([*ALGORITHMS, "optimal"]),
+        default="sra",
+    )
+    solve.add_argument("--seed", type=int, default=None)
+    solve.add_argument("--generations", type=int, default=0,
+                       help="override GRA generations")
+    solve.add_argument("--save-scheme", default=None)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a saved scheme")
+    evaluate.add_argument("scheme")
+    evaluate.add_argument(
+        "--instance",
+        default=None,
+        help="evaluate under this instance instead of the embedded one "
+        "(same network/storage, e.g. drifted patterns)",
+    )
+
+    simulate = sub.add_parser(
+        "simulate", help="replay a trace through the simulator"
+    )
+    simulate.add_argument("scheme")
+    simulate.add_argument("--duration", type=float, default=1.0)
+    simulate.add_argument("--seed", type=int, default=None)
+
+    compare = sub.add_parser(
+        "compare", help="compare algorithms over fresh instances"
+    )
+    compare.add_argument("--sites", type=int, default=15)
+    compare.add_argument("--objects", type=int, default=30)
+    compare.add_argument("--update-ratio", type=float, default=0.05)
+    compare.add_argument("--capacity-ratio", type=float, default=0.15)
+    compare.add_argument("--instances", type=int, default=5)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--algorithm",
+        action="append",
+        choices=sorted(ALGORITHMS),
+        help="repeatable; default: sra and gra",
+    )
+
+    figures = sub.add_parser(
+        "figures", help="reproduce the paper's figures (see repro-experiments)"
+    )
+    figures.add_argument("rest", nargs=argparse.REMAINDER)
+
+    return parser
+
+
+# --------------------------------------------------------------------- #
+# subcommand implementations
+# --------------------------------------------------------------------- #
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(
+        num_sites=args.sites,
+        num_objects=args.objects,
+        update_ratio=args.update_ratio,
+        capacity_ratio=args.capacity_ratio,
+    )
+    instance = generate_instance(spec, rng=args.seed)
+    path = save_instance(instance, args.output)
+    print(f"wrote {instance} to {path}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    model = CostModel(instance)
+    if args.algorithm == "optimal":
+        result = solve_optimal(instance, model)
+    else:
+        algorithm = ALGORITHMS[args.algorithm](args.seed, args.generations)
+        result = algorithm.run(instance, model)
+    print(result.summary())
+    print(f"D' = {result.d_prime:,.2f}   D = {result.total_cost:,.2f}")
+    if args.save_scheme:
+        path = save_scheme(result.scheme, args.save_scheme)
+        print(f"scheme saved to {path}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    scheme = load_scheme(args.scheme)
+    instance = (
+        load_instance(args.instance) if args.instance else scheme.instance
+    )
+    model = CostModel(instance)
+    cost = model.total_cost(scheme.matrix)
+    print(f"scheme: {scheme}")
+    print(f"D = {cost:,.2f}   D' = {model.d_prime():,.2f}")
+    print(f"savings = {model.savings_percent(scheme.matrix):.2f}%")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    scheme = load_scheme(args.scheme)
+    instance = scheme.instance
+    trace = generate_trace(instance, duration=args.duration, rng=args.seed)
+    system = ReplicaSystem(instance, scheme)
+    simulator = Simulator()
+    system.attach(simulator, trace)
+    simulator.run()
+    analytic = CostModel(instance).total_cost(scheme.matrix)
+    measured = system.metrics.request_ntc
+    print(f"requests replayed: {len(trace):,}")
+    print(f"measured NTC:      {measured:,.2f}")
+    print(f"analytic D(X):     {analytic:,.2f}")
+    print(f"exact match:       {abs(measured - analytic) < 1e-6}")
+    for key, value in sorted(system.metrics.summary().items()):
+        print(f"  {key} = {value:,.3f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    labels = args.algorithm or ["sra", "gra"]
+    spec = WorkloadSpec(
+        num_sites=args.sites,
+        num_objects=args.objects,
+        update_ratio=args.update_ratio,
+        capacity_ratio=args.capacity_ratio,
+    )
+    instances = generate_instances(spec, args.instances, rng=args.seed)
+    factories = {
+        label: (lambda seed, _label=label: ALGORITHMS[_label](seed, 0))
+        for label in labels
+    }
+    report = compare_algorithms(instances, factories, seed=args.seed + 1)
+    print(report.render())
+    print(f"\nbest by mean savings: {report.best_algorithm()}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import main as figures_main
+
+    return figures_main(args.rest)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "solve": _cmd_solve,
+        "evaluate": _cmd_evaluate,
+        "simulate": _cmd_simulate,
+        "compare": _cmd_compare,
+        "figures": _cmd_figures,
+    }
+    handler = handlers.get(args.command)
+    if handler is None:
+        parser.print_help()
+        return 2
+    try:
+        return handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

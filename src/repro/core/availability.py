@@ -1,0 +1,221 @@
+"""Fault-tolerance analysis of replication schemes (extension).
+
+The paper sets consistency and fault tolerance aside ("a more spherical
+study of replication would include consistency and fault tolerance
+issues") — but a replica placement's resilience is exactly what a
+practitioner asks next.  This module answers two questions:
+
+* **what does one site failure cost?** — :func:`failure_report` removes
+  a site, promotes a surviving replica to primary where the failed site
+  hosted one, and re-prices the surviving sites' traffic; objects with
+  no surviving replica are *lost*;
+* **how do I buy resilience?** — :func:`harden_scheme` greedily adds the
+  cheapest (exact-delta) replicas until every object reaches a minimum
+  replica degree, reporting the NTC premium paid for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.cost import CostModel
+from repro.core.problem import DRPInstance
+from repro.core.scheme import ReplicationScheme
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """Consequences of one site failing under a given scheme."""
+
+    failed_site: int
+    lost_objects: Tuple[int, ...]  # no surviving replica anywhere
+    promoted_primaries: Dict[int, int]  # object -> new primary site
+    surviving_cost: float  # NTC of surviving sites' traffic
+    baseline_surviving_cost: float  # same traffic before the failure
+
+    @property
+    def cost_increase(self) -> float:
+        """Extra NTC the surviving sites pay because of the failure."""
+        return self.surviving_cost - self.baseline_surviving_cost
+
+    @property
+    def degraded_percent(self) -> float:
+        """Cost increase as a percentage of the pre-failure cost."""
+        if self.baseline_surviving_cost == 0.0:
+            return 0.0
+        return 100.0 * self.cost_increase / self.baseline_surviving_cost
+
+
+def failure_report(
+    instance: DRPInstance,
+    scheme: ReplicationScheme,
+    failed_site: int,
+) -> FailureReport:
+    """Price a single-site failure.
+
+    The failed site's replicas disappear and its own requests stop (the
+    site is down); where it hosted a primary, the surviving replica
+    nearest to the old primary is promoted.  Objects with no surviving
+    replica are reported lost and excluded from the cost (their traffic
+    cannot be served at any price).
+    """
+    if not 0 <= failed_site < instance.num_sites:
+        raise ValidationError(
+            f"failed_site {failed_site} out of range "
+            f"[0, {instance.num_sites})"
+        )
+    survivors = np.ones(instance.num_sites, dtype=bool)
+    survivors[failed_site] = False
+
+    lost: List[int] = []
+    promoted: Dict[int, int] = {}
+    surviving_cost = 0.0
+    baseline_cost = 0.0
+    cost = instance.cost
+
+    for obj in range(instance.num_objects):
+        column = scheme.matrix[:, obj]
+        primary = int(instance.primaries[obj])
+        reads = instance.reads[:, obj]
+        writes = instance.writes[:, obj]
+        size = float(instance.sizes[obj])
+
+        new_column = column & survivors
+        reps_after = np.nonzero(new_column)[0]
+        if reps_after.size == 0:
+            lost.append(obj)
+            continue
+        if primary == failed_site:
+            # promote the surviving replica nearest the old primary
+            new_primary = int(reps_after[np.argmin(cost[primary, reps_after])])
+            promoted[obj] = new_primary
+        else:
+            new_primary = primary
+
+        # price only surviving sites' traffic, before and after
+        def priced(
+            col: np.ndarray, primary_site: int
+        ) -> float:
+            reps = np.nonzero(col)[0]
+            nearest = cost[:, reps].min(axis=1)
+            total = 0.0
+            total_writes = float(writes[survivors].sum())
+            for i in np.nonzero(survivors)[0]:
+                i = int(i)
+                if col[i]:
+                    total += total_writes * size * float(
+                        cost[i, primary_site]
+                    )
+                else:
+                    total += float(reads[i]) * size * float(nearest[i])
+                    total += float(writes[i]) * size * float(
+                        cost[i, primary_site]
+                    )
+            return total
+
+        baseline_cost += priced(column, primary)
+        surviving_cost += priced(new_column, new_primary)
+
+    return FailureReport(
+        failed_site=failed_site,
+        lost_objects=tuple(lost),
+        promoted_primaries=promoted,
+        surviving_cost=surviving_cost,
+        baseline_surviving_cost=baseline_cost,
+    )
+
+
+def expected_failure_impact(
+    instance: DRPInstance, scheme: ReplicationScheme
+) -> Dict[str, float]:
+    """Averages over all equally-likely single-site failures."""
+    reports = [
+        failure_report(instance, scheme, site)
+        for site in range(instance.num_sites)
+    ]
+    return {
+        "mean_cost_increase": float(
+            np.mean([r.cost_increase for r in reports])
+        ),
+        "mean_degraded_percent": float(
+            np.mean([r.degraded_percent for r in reports])
+        ),
+        "max_degraded_percent": float(
+            np.max([r.degraded_percent for r in reports])
+        ),
+        "mean_lost_objects": float(
+            np.mean([len(r.lost_objects) for r in reports])
+        ),
+        "worst_lost_objects": float(
+            np.max([len(r.lost_objects) for r in reports])
+        ),
+    }
+
+
+@dataclass
+class HardeningResult:
+    """Outcome of :func:`harden_scheme`."""
+
+    scheme: ReplicationScheme
+    added_replicas: int
+    cost_premium: float  # NTC increase paid for the extra replicas
+    unmet_objects: Tuple[int, ...]  # could not reach the target degree
+
+
+def harden_scheme(
+    instance: DRPInstance,
+    scheme: ReplicationScheme,
+    min_degree: int = 2,
+    model: Optional[CostModel] = None,
+) -> HardeningResult:
+    """Raise every object to ``min_degree`` replicas, cheapest-first.
+
+    For each under-replicated object the site with the least-bad exact
+    cost delta (that has room) receives a replica, repeatedly, until the
+    degree target is met or no site can host it.  The input scheme is
+    not modified.
+    """
+    if min_degree < 1:
+        raise ValidationError(f"min_degree must be >= 1, got {min_degree}")
+    model = model or CostModel(instance)
+    hardened = scheme.copy()
+    before = model.total_cost(hardened)
+    added = 0
+    unmet: List[int] = []
+    for obj in range(instance.num_objects):
+        while hardened.replica_degree(obj) < min_degree:
+            remaining = hardened.remaining_capacity()
+            candidates = [
+                site
+                for site in range(instance.num_sites)
+                if not hardened.holds(site, obj)
+                and remaining[site] >= instance.sizes[obj]
+            ]
+            if not candidates:
+                unmet.append(obj)
+                break
+            deltas = [
+                model.add_delta(hardened, site, obj) for site in candidates
+            ]
+            best = candidates[int(np.argmin(deltas))]
+            hardened.add_replica(best, obj)
+            added += 1
+    return HardeningResult(
+        scheme=hardened,
+        added_replicas=added,
+        cost_premium=model.total_cost(hardened) - before,
+        unmet_objects=tuple(unmet),
+    )
+
+
+__all__ = [
+    "FailureReport",
+    "failure_report",
+    "expected_failure_impact",
+    "HardeningResult",
+    "harden_scheme",
+]

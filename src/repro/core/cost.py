@@ -1,0 +1,385 @@
+"""The object-transfer cost model of Section 2.2 (Eq. 1-4).
+
+Accounting convention (Eq. 4 of the paper):
+
+* a **non-replicator** site ``i`` pays ``r_ik * o_k * C(i, SN_ik)`` to read
+  object ``k`` from its nearest replicator ``SN_ik`` plus
+  ``w_ik * o_k * C(i, SP_k)`` to ship its writes to the primary;
+* a **replicator** site ``i`` pays ``(sum_x w_xk) * o_k * C(i, SP_k)`` —
+  shipping its own writes to the primary and receiving every broadcast
+  update from it (both legs cost ``C(i, SP_k)`` per unit since ``C`` is
+  symmetric).  The primary itself contributes zero because
+  ``C(SP_k, SP_k) = 0``.
+
+The total ``D(X)`` equals the aggregation of Eq. 1 + Eq. 2 over all sites
+and objects; the test-suite cross-checks this closed form against a slow
+site-by-site reference implementation and against the discrete-event
+simulator.
+
+``update_fraction`` (an extension the paper sketches in Section 2.2 —
+"we can move only the updated parts") scales every write transfer: 1.0 is
+the paper's ship-the-whole-object policy, 0.1 models delta updates that
+ship 10% of the object per write.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.problem import DRPInstance
+from repro.core.scheme import ReplicationScheme
+from repro.errors import ValidationError
+from repro.utils.validation import check_fraction
+
+SchemeLike = Union[ReplicationScheme, np.ndarray]
+
+
+class CostModel:
+    """Vectorised evaluator of the total network transfer cost ``D``.
+
+    The evaluator precomputes the read/write *weights* (access counts times
+    object size) and memoises per-object costs keyed by the object's packed
+    replica column, which makes GA population evaluation cheap: columns
+    shared between parents and offspring (elitism, survivors of crossover)
+    are never recomputed.
+
+    Parameters
+    ----------
+    instance:
+        The problem inputs.
+    update_fraction:
+        Fraction of an object shipped per write transfer (default 1.0, the
+        paper's policy).
+    cache_size:
+        Maximum number of memoised per-object costs (the cache is cleared
+        wholesale when full; 0 disables caching).
+    """
+
+    def __init__(
+        self,
+        instance: DRPInstance,
+        update_fraction: float = 1.0,
+        cache_size: int = 200_000,
+    ) -> None:
+        if cache_size < 0:
+            raise ValidationError(
+                f"cache_size must be >= 0, got {cache_size}"
+            )
+        self._instance = instance
+        self._uf = check_fraction(
+            "update_fraction", update_fraction, allow_zero=True
+        )
+        # Read weight r_ik * o_k and write weight w_ik * o_k, shape (M, N).
+        self._read_weight = instance.reads * instance.sizes[None, :]
+        self._write_weight = (
+            instance.writes * instance.sizes[None, :] * self._uf
+        )
+        # Total write weight per object: o_k * sum_x w_xk (already scaled).
+        self._total_write_weight = self._write_weight.sum(axis=0)
+        # C(i, SP_k) for every (i, k), shape (M, N).
+        self._cost_to_primary = instance.cost[:, instance.primaries]
+        self._cache: Dict[Tuple[int, bytes], float] = {}
+        self._cache_size = cache_size
+        self._d_prime_per_object: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def instance(self) -> DRPInstance:
+        return self._instance
+
+    @property
+    def update_fraction(self) -> float:
+        return self._uf
+
+    # ------------------------------------------------------------------ #
+    # per-object costs
+    # ------------------------------------------------------------------ #
+    def object_cost(self, obj: int, column: np.ndarray) -> float:
+        """NTC contributed by object ``obj`` under replica ``column``.
+
+        ``column`` is the boolean length-``M`` replica indicator (the
+        paper's ``V_k`` when summed with read and write components).  The
+        primary must be a replicator; this is *not* re-checked here for
+        speed — schemes enforce it structurally.
+        """
+        mask = np.asarray(column, dtype=bool)
+        reps = np.nonzero(mask)[0]
+        cost = self._instance.cost
+        # Reads: every site reads from its nearest replicator; replicator
+        # rows contribute zero because min cost over reps includes self.
+        nearest_cost = cost[:, reps].min(axis=1)
+        read_term = float(self._read_weight[:, obj] @ nearest_cost)
+        # Writes: non-replicators ship their own writes to the primary;
+        # replicators are charged for all writes (own + received updates).
+        to_primary = self._cost_to_primary[:, obj]
+        nonrep_writes = float(
+            self._write_weight[~mask, obj] @ to_primary[~mask]
+        )
+        rep_writes = float(
+            to_primary[mask].sum() * self._total_write_weight[obj]
+        )
+        return read_term + nonrep_writes + rep_writes
+
+    def object_cost_cached(self, obj: int, column: np.ndarray) -> float:
+        """Memoised :meth:`object_cost` (keyed by the packed column bits)."""
+        if self._cache_size == 0:
+            return self.object_cost(obj, column)
+        key = (obj, np.packbits(np.asarray(column, dtype=bool)).tobytes())
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        value = self.object_cost(obj, column)
+        if len(self._cache) >= self._cache_size:
+            self._cache.clear()
+        self._cache[key] = value
+        return value
+
+    def object_costs_batch(
+        self, obj: int, columns: np.ndarray, chunk: int = 64
+    ) -> np.ndarray:
+        """Costs of many replica columns of one object at once.
+
+        ``columns`` is a boolean ``(P, M)`` stack.  Duplicate columns are
+        collapsed with :func:`numpy.unique`, cached costs are reused, and
+        the remaining fresh columns are priced with one broadcasted
+        min-reduction per ``chunk`` (bounding the temporary
+        ``chunk x M x M`` array).  Equivalent to calling
+        :meth:`object_cost_cached` per row; used by GA population
+        evaluation where whole generations share columns.
+        """
+        columns = np.asarray(columns, dtype=bool)
+        if columns.ndim != 2 or columns.shape[1] != self._instance.num_sites:
+            raise ValidationError(
+                "columns must have shape (P, "
+                f"{self._instance.num_sites}), got {columns.shape}"
+            )
+        unique, inverse = np.unique(columns, axis=0, return_inverse=True)
+        unique_costs = np.empty(unique.shape[0])
+        misses: list = []
+        keys: list = []
+        for idx in range(unique.shape[0]):
+            key = (obj, np.packbits(unique[idx]).tobytes())
+            hit = self._cache.get(key) if self._cache_size else None
+            if hit is None:
+                misses.append(idx)
+                keys.append(key)
+            else:
+                unique_costs[idx] = hit
+        cost = self._instance.cost
+        to_primary = self._cost_to_primary[:, obj]
+        read_w = self._read_weight[:, obj]
+        write_w = self._write_weight[:, obj]
+        total_w = self._total_write_weight[obj]
+        for start in range(0, len(misses), chunk):
+            block = misses[start:start + chunk]
+            mask = unique[block]  # (b, M)
+            nearest = np.where(
+                mask[:, None, :], cost[None, :, :], np.inf
+            ).min(axis=2)  # (b, M)
+            read_term = nearest @ read_w
+            nonrep = (~mask) @ (write_w * to_primary)
+            rep = (mask @ to_primary) * total_w
+            values = read_term + nonrep + rep
+            for offset, idx in enumerate(block):
+                unique_costs[idx] = values[offset]
+                if self._cache_size:
+                    if len(self._cache) >= self._cache_size:
+                        self._cache.clear()
+                    self._cache[keys[start + offset]] = float(values[offset])
+        return unique_costs[inverse]
+
+    def population_costs(self, matrices) -> np.ndarray:
+        """Total ``D`` of every scheme matrix in ``matrices`` (batched)."""
+        mats = [self._as_matrix(m) for m in matrices]
+        if not mats:
+            return np.empty(0)
+        totals = np.zeros(len(mats))
+        for k in range(self._instance.num_objects):
+            columns = np.stack([m[:, k] for m in mats])
+            totals += self.object_costs_batch(k, columns)
+        return totals
+
+    def primary_only_object_cost(self, obj: int) -> float:
+        """``V_prime_k``: NTC of ``obj`` replicated only at its primary."""
+        if self._d_prime_per_object is None:
+            self._compute_d_prime()
+        return float(self._d_prime_per_object[obj])
+
+    def _compute_d_prime(self) -> None:
+        m = self._instance.num_sites
+        per_object = np.empty(self._instance.num_objects)
+        column = np.zeros(m, dtype=bool)
+        for k in range(self._instance.num_objects):
+            primary = int(self._instance.primaries[k])
+            column[primary] = True
+            per_object[k] = self.object_cost(k, column)
+            column[primary] = False
+        self._d_prime_per_object = per_object
+
+    # ------------------------------------------------------------------ #
+    # totals
+    # ------------------------------------------------------------------ #
+    def _as_matrix(self, scheme: SchemeLike) -> np.ndarray:
+        if isinstance(scheme, ReplicationScheme):
+            return scheme.matrix
+        mat = np.asarray(scheme, dtype=bool)
+        expected = (self._instance.num_sites, self._instance.num_objects)
+        if mat.shape != expected:
+            raise ValidationError(
+                f"scheme matrix must have shape {expected}, got {mat.shape}"
+            )
+        return mat
+
+    def total_cost(self, scheme: SchemeLike, cached: bool = True) -> float:
+        """``D(X)`` — Eq. 4 summed over all objects."""
+        mat = self._as_matrix(scheme)
+        fn = self.object_cost_cached if cached else self.object_cost
+        return float(
+            sum(fn(k, mat[:, k]) for k in range(self._instance.num_objects))
+        )
+
+    def d_prime(self) -> float:
+        """``D_prime`` — NTC of the primary-only allocation (cached)."""
+        if self._d_prime_per_object is None:
+            self._compute_d_prime()
+        return float(self._d_prime_per_object.sum())
+
+    def savings_percent(self, scheme: SchemeLike) -> float:
+        """The paper's quality metric: % of ``D_prime`` saved by ``scheme``."""
+        d_prime = self.d_prime()
+        if d_prime == 0.0:
+            return 0.0
+        return 100.0 * (d_prime - self.total_cost(scheme)) / d_prime
+
+    def fitness(self, scheme: SchemeLike) -> float:
+        """Normalised GA fitness ``f = (D_prime - D) / D_prime`` (can be < 0)."""
+        d_prime = self.d_prime()
+        if d_prime == 0.0:
+            return 0.0
+        return (d_prime - self.total_cost(scheme)) / d_prime
+
+    # ------------------------------------------------------------------ #
+    # incremental deltas
+    # ------------------------------------------------------------------ #
+    def add_delta(
+        self, scheme: ReplicationScheme, site: int, obj: int
+    ) -> float:
+        """Exact change in ``D`` from adding a replica of ``obj`` at ``site``.
+
+        Negative values mean the addition reduces total cost.  Unlike the
+        greedy benefit of Eq. 5 this accounts for *other* sites' reads
+        being redirected to the new replica.
+        """
+        if scheme.holds(site, obj):
+            raise ValueError(f"site {site} already holds object {obj}")
+        column = scheme.matrix[:, obj].copy()
+        before = self.object_cost_cached(obj, column)
+        column[site] = True
+        return self.object_cost_cached(obj, column) - before
+
+    def drop_delta(
+        self, scheme: ReplicationScheme, site: int, obj: int
+    ) -> float:
+        """Exact change in ``D`` from dropping the replica of ``obj`` at ``site``."""
+        if not scheme.holds(site, obj):
+            raise ValueError(f"site {site} does not hold object {obj}")
+        if int(self._instance.primaries[obj]) == int(site):
+            raise ValueError(f"cannot drop primary copy of object {obj}")
+        column = scheme.matrix[:, obj].copy()
+        before = self.object_cost_cached(obj, column)
+        column[site] = False
+        return self.object_cost_cached(obj, column) - before
+
+    # ------------------------------------------------------------------ #
+    # decomposition (Eq. 1 and Eq. 2, used by tests and the simulator)
+    # ------------------------------------------------------------------ #
+    def read_cost_components(self, scheme: SchemeLike) -> np.ndarray:
+        """``R_ik`` of Eq. 1 for every (site, object) pair, shape (M, N)."""
+        mat = self._as_matrix(scheme)
+        out = np.empty_like(self._read_weight)
+        cost = self._instance.cost
+        for k in range(self._instance.num_objects):
+            reps = np.nonzero(mat[:, k])[0]
+            out[:, k] = self._read_weight[:, k] * cost[:, reps].min(axis=1)
+        return out
+
+    def write_cost_components(self, scheme: SchemeLike) -> np.ndarray:
+        """``W_ik`` of Eq. 2 for every (site, object) pair, shape (M, N).
+
+        Per the writer-side accounting of Eq. 2, site ``i`` pays for the
+        primary shipment *and* the broadcast to every other replicator:
+        ``w_ik * o_k * (C(i, SP_k) + sum_{j in R_k, j != i} C(SP_k, j))``.
+        Summed over all (i, k) this equals the Eq. 4 write accounting.
+        """
+        mat = self._as_matrix(scheme)
+        out = np.empty_like(self._write_weight)
+        cost = self._instance.cost
+        for k in range(self._instance.num_objects):
+            primary = int(self._instance.primaries[k])
+            reps = np.nonzero(mat[:, k])[0]
+            broadcast_total = float(cost[primary, reps].sum())
+            # Each writer i pays C(i, SP) plus the broadcast excluding the
+            # leg back to itself when i is a replicator.
+            per_writer = self._cost_to_primary[:, k] + broadcast_total
+            per_writer = per_writer - np.where(
+                mat[:, k], cost[primary, :], 0.0
+            )
+            out[:, k] = self._write_weight[:, k] * per_writer
+        return out
+
+    def cache_info(self) -> Dict[str, int]:
+        """Diagnostics: current cache population and capacity."""
+        return {"entries": len(self._cache), "capacity": self._cache_size}
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+
+def reference_total_cost(
+    instance: DRPInstance,
+    scheme: SchemeLike,
+    update_fraction: float = 1.0,
+) -> float:
+    """Slow, loop-based implementation of Eq. 4 used as a test oracle.
+
+    Mirrors the paper's formula site-by-site and object-by-object with no
+    vectorisation or caching; intentionally naive.
+    """
+    mat = (
+        scheme.matrix
+        if isinstance(scheme, ReplicationScheme)
+        else np.asarray(scheme, dtype=bool)
+    )
+    total = 0.0
+    for k in range(instance.num_objects):
+        size = float(instance.sizes[k])
+        primary = int(instance.primaries[k])
+        reps = [i for i in range(instance.num_sites) if mat[i, k]]
+        total_writes = sum(
+            float(instance.writes[x, k]) for x in range(instance.num_sites)
+        )
+        for i in range(instance.num_sites):
+            if mat[i, k]:
+                total += (
+                    update_fraction
+                    * total_writes
+                    * size
+                    * float(instance.cost[i, primary])
+                )
+            else:
+                nearest = min(float(instance.cost[i, j]) for j in reps)
+                total += float(instance.reads[i, k]) * size * nearest
+                total += (
+                    update_fraction
+                    * float(instance.writes[i, k])
+                    * size
+                    * float(instance.cost[i, primary])
+                )
+    return total
+
+
+__all__ = ["CostModel", "reference_total_cost"]

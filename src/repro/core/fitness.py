@@ -1,0 +1,31 @@
+"""Normalised fitness and savings metrics (Section 4, "Fitness value f").
+
+The GA fitness is ``f = (D_prime - D) / D_prime`` where ``D_prime`` is the
+NTC of the primary-only allocation.  The paper resets chromosomes with
+``f < 0`` to the initial allocation (fitness 0); the GA engines implement
+that reset, while these helpers only compute the raw values.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+
+
+def fitness_from_costs(d_prime: float, d: float) -> float:
+    """``f = (D_prime - D) / D_prime``; may be negative for bad schemes."""
+    if d_prime < 0 or d < 0:
+        raise ValidationError(
+            f"costs must be non-negative, got d_prime={d_prime}, d={d}"
+        )
+    if d_prime == 0.0:
+        # A zero-traffic system: every scheme is equally (vacuously) good.
+        return 0.0
+    return (d_prime - d) / d_prime
+
+
+def savings_percent(d_prime: float, d: float) -> float:
+    """The paper's reported metric: percentage of NTC saved vs primary-only."""
+    return 100.0 * fitness_from_costs(d_prime, d)
+
+
+__all__ = ["fitness_from_costs", "savings_percent"]

@@ -1,0 +1,245 @@
+"""Replication schemes: the boolean ``X`` matrix of Section 2.2.
+
+``X[i, k] = 1`` means site ``i`` holds a replica of object ``k``.  A scheme
+is *valid* when (a) every object keeps a replica at its primary site and
+(b) no site stores more than its capacity.  :class:`ReplicationScheme`
+enforces (a) structurally — dropping a primary raises — and tracks storage
+incrementally so (b) can be checked in O(1) per mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.problem import DRPInstance
+from repro.errors import CapacityError, PrimaryCopyError, ValidationError
+
+
+class ReplicationScheme:
+    """A mutable replica placement for one :class:`DRPInstance`.
+
+    Use :meth:`primary_only` for the paper's initial allocation (each object
+    exists only at its primary site) and :meth:`from_matrix` to adopt a GA
+    chromosome.  Mutations keep the per-site storage tally consistent;
+    ``enforce_capacity=True`` (default) makes over-capacity mutations raise
+    :class:`~repro.errors.CapacityError` up front.
+    """
+
+    def __init__(
+        self,
+        instance: DRPInstance,
+        matrix: Optional[np.ndarray] = None,
+        enforce_capacity: bool = True,
+    ) -> None:
+        self._instance = instance
+        m, n = instance.num_sites, instance.num_objects
+        if matrix is None:
+            x = np.zeros((m, n), dtype=bool)
+            x[instance.primaries, np.arange(n)] = True
+        else:
+            x = np.asarray(matrix)
+            if x.shape != (m, n):
+                raise ValidationError(
+                    f"scheme matrix must have shape {(m, n)}, got {x.shape}"
+                )
+            x = x.astype(bool).copy()
+            missing = np.nonzero(~x[instance.primaries, np.arange(n)])[0]
+            if missing.size:
+                k = int(missing[0])
+                raise PrimaryCopyError(int(instance.primaries[k]), k)
+        self._x = x
+        self._used = x.astype(float) @ instance.sizes
+        self._enforce_capacity = enforce_capacity
+        if enforce_capacity:
+            self.validate()
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def primary_only(cls, instance: DRPInstance) -> "ReplicationScheme":
+        """The initial allocation: each object only at its primary site."""
+        return cls(instance)
+
+    @classmethod
+    def from_matrix(
+        cls,
+        instance: DRPInstance,
+        matrix: np.ndarray,
+        enforce_capacity: bool = True,
+    ) -> "ReplicationScheme":
+        """Adopt an explicit boolean placement matrix."""
+        return cls(instance, matrix, enforce_capacity=enforce_capacity)
+
+    def copy(self) -> "ReplicationScheme":
+        clone = ReplicationScheme.__new__(ReplicationScheme)
+        clone._instance = self._instance
+        clone._x = self._x.copy()
+        clone._used = self._used.copy()
+        clone._enforce_capacity = self._enforce_capacity
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def instance(self) -> DRPInstance:
+        return self._instance
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The boolean ``X`` matrix (read-only view; copy to mutate)."""
+        view = self._x.view()
+        view.setflags(write=False)
+        return view
+
+    def holds(self, site: int, obj: int) -> bool:
+        """True when ``site`` stores a replica of ``obj``."""
+        return bool(self._x[site, obj])
+
+    def replicators(self, obj: int) -> np.ndarray:
+        """Sorted site indices holding object ``obj`` (paper's ``R_k``)."""
+        return np.nonzero(self._x[:, obj])[0]
+
+    def objects_at(self, site: int) -> np.ndarray:
+        """Sorted object indices stored at ``site``."""
+        return np.nonzero(self._x[site])[0]
+
+    def replica_degree(self, obj: int) -> int:
+        """Number of replicas of ``obj`` including the primary."""
+        return int(self._x[:, obj].sum())
+
+    def replica_degrees(self) -> np.ndarray:
+        """Per-object replica counts including primaries."""
+        return self._x.sum(axis=0)
+
+    def total_replicas(self) -> int:
+        """Total replica count across all objects, primaries included."""
+        return int(self._x.sum())
+
+    def extra_replicas(self) -> int:
+        """Replicas created beyond the mandatory primaries.
+
+        This is the quantity Figures 1(b) and 1(d) plot ("number of
+        replicas generated").
+        """
+        return self.total_replicas() - self._instance.num_objects
+
+    def used_storage(self) -> np.ndarray:
+        """Per-site storage units consumed by the current placement."""
+        return self._used.copy()
+
+    def remaining_capacity(self) -> np.ndarray:
+        """Per-site free storage (the paper's ``b_i``)."""
+        return self._instance.capacities - self._used
+
+    def nearest_sites(self, obj: int) -> np.ndarray:
+        """For each site, its nearest replicator of ``obj`` (``SN_ik``).
+
+        Ties break toward the lowest site index; a replicator's nearest
+        site is itself (zero-cost read).
+        """
+        reps = self.replicators(obj)
+        sub = self._instance.cost[:, reps]
+        return reps[np.argmin(sub, axis=1)]
+
+    def nearest_site_matrix(self) -> np.ndarray:
+        """The full ``(M, N)`` nearest-replicator table."""
+        out = np.empty((self._instance.num_sites, self._instance.num_objects),
+                       dtype=np.int64)
+        for k in range(self._instance.num_objects):
+            out[:, k] = self.nearest_sites(k)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # validity
+    # ------------------------------------------------------------------ #
+    def capacity_violations(self) -> List[Tuple[int, float, float]]:
+        """Sites over capacity as ``(site, used, capacity)`` triples."""
+        caps = self._instance.capacities
+        return [
+            (int(i), float(self._used[i]), float(caps[i]))
+            for i in np.nonzero(self._used > caps + 1e-9)[0]
+        ]
+
+    def is_valid(self) -> bool:
+        """True when no site exceeds its storage capacity."""
+        return not self.capacity_violations()
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.CapacityError` on the first violation."""
+        violations = self.capacity_violations()
+        if violations:
+            site, used, cap = violations[0]
+            raise CapacityError(site, used, cap)
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def add_replica(self, site: int, obj: int) -> None:
+        """Place a replica of ``obj`` at ``site``.
+
+        Raises :class:`~repro.errors.CapacityError` when it would not fit
+        (under ``enforce_capacity``) and :class:`ValueError` when the
+        replica already exists.
+        """
+        if self._x[site, obj]:
+            raise ValueError(f"site {site} already holds object {obj}")
+        size = self._instance.sizes[obj]
+        if (
+            self._enforce_capacity
+            and self._used[site] + size > self._instance.capacities[site] + 1e-9
+        ):
+            raise CapacityError(
+                site,
+                float(self._used[site] + size),
+                float(self._instance.capacities[site]),
+            )
+        self._x[site, obj] = True
+        self._used[site] += size
+
+    def drop_replica(self, site: int, obj: int) -> None:
+        """Remove the replica of ``obj`` at ``site``.
+
+        The primary copy cannot be dropped
+        (:class:`~repro.errors.PrimaryCopyError`).
+        """
+        if not self._x[site, obj]:
+            raise ValueError(f"site {site} does not hold object {obj}")
+        if int(self._instance.primaries[obj]) == int(site):
+            raise PrimaryCopyError(site, obj)
+        self._x[site, obj] = False
+        self._used[site] -= self._instance.sizes[obj]
+
+    # ------------------------------------------------------------------ #
+    # comparison / serialisation
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReplicationScheme):
+            return NotImplemented
+        return (
+            self._instance == other._instance
+            and np.array_equal(self._x, other._x)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"matrix": self._x.astype(int).tolist()}
+
+    @classmethod
+    def from_dict(
+        cls, instance: DRPInstance, data: Dict[str, object]
+    ) -> "ReplicationScheme":
+        return cls(instance, np.asarray(data["matrix"], dtype=bool))
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicationScheme(M={self._instance.num_sites}, "
+            f"N={self._instance.num_objects}, "
+            f"extra_replicas={self.extra_replicas()}, "
+            f"valid={self.is_valid()})"
+        )
+
+
+__all__ = ["ReplicationScheme"]

@@ -1,0 +1,35 @@
+"""Message-passing emulation of the distributed SRA (Section 3).
+
+The paper sketches a distributed version of the greedy algorithm: each
+site owns its candidate list ``L_i`` and does all benefit computations
+locally; a network leader owns ``LS`` and grants the right to replicate
+via a token-passing mechanism; every replication is broadcast so all
+sites keep their nearest-replica (``SN``) fields current.
+
+This package emulates that protocol faithfully over an in-process message
+fabric with full message accounting, and verifies (in tests) that the
+distributed execution produces exactly the same replication scheme as the
+centralised :class:`repro.algorithms.SRA` under the same visiting order.
+"""
+
+from repro.distributed.messages import Message, MessageLog, MessageKind
+from repro.distributed.monitor_protocol import (
+    CollectionRound,
+    MonitorProtocol,
+    collection_report,
+)
+from repro.distributed.node import LeaderNode, SiteNode
+from repro.distributed.sra_protocol import DistributedSRA, DistributedSRAReport
+
+__all__ = [
+    "CollectionRound",
+    "MonitorProtocol",
+    "collection_report",
+    "Message",
+    "MessageLog",
+    "MessageKind",
+    "LeaderNode",
+    "SiteNode",
+    "DistributedSRA",
+    "DistributedSRAReport",
+]

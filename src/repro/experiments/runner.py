@@ -1,0 +1,132 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Examples
+--------
+Reproduce one figure at CI scale::
+
+    repro-experiments --figure fig1a
+
+Reproduce everything at the paper's scale (slow!)::
+
+    repro-experiments --all --profile paper
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.config import get_profile
+from repro.experiments.figures import DEFAULT_SEED, FIGURES, run_figure
+from repro.experiments.report import render_figure
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the evaluation figures of 'Static and Adaptive Data "
+            "Replication Algorithms for Fast Information Access in Large "
+            "Distributed Systems' (ICDCS 2000)."
+        ),
+    )
+    parser.add_argument(
+        "--figure",
+        action="append",
+        choices=sorted(FIGURES),
+        help="figure id to reproduce (repeatable)",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="reproduce every figure"
+    )
+    parser.add_argument(
+        "--ablation",
+        action="append",
+        help="ablation id to run (repeatable); see --list-ablations",
+    )
+    parser.add_argument(
+        "--list-ablations",
+        action="store_true",
+        help="list available ablation studies and exit",
+    )
+    parser.add_argument(
+        "--verify-claims",
+        action="store_true",
+        help="check the paper's claims against the reproduced figures",
+    )
+    parser.add_argument(
+        "--export",
+        metavar="DIR",
+        default=None,
+        help=(
+            "export every figure, ablation and the claim verdicts "
+            "(JSON + rendered tables) into DIR and exit"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        default="",
+        help="scale profile: quick (default) or paper",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help=f"master seed (default {DEFAULT_SEED})",
+    )
+    parser.add_argument(
+        "--precision",
+        type=int,
+        default=2,
+        help="decimal places in the rendered tables",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from repro.experiments.ablations import ABLATIONS, run_ablation
+
+    args = build_parser().parse_args(argv)
+    if args.list_ablations:
+        for ablation_id in sorted(ABLATIONS):
+            print(ablation_id)
+        return 0
+    figure_ids = sorted(FIGURES) if args.all else (args.figure or [])
+    ablation_ids = args.ablation or []
+    if (
+        not figure_ids
+        and not ablation_ids
+        and not args.verify_claims
+        and not args.export
+    ):
+        build_parser().print_help()
+        return 2
+    profile = get_profile(args.profile)
+    if args.export:
+        from repro.experiments.export import export_results
+
+        manifest = export_results(args.export, profile, seed=args.seed)
+        print(
+            f"exported {len(manifest['files'])} files to {args.export} "
+            f"(profile={manifest['profile']}, seed={manifest['seed']})"
+        )
+        return 0
+    if args.verify_claims:
+        from repro.experiments.claims import render_verdicts, verify_claims
+
+        print(render_verdicts(verify_claims(profile, seed=args.seed)))
+        print()
+    for figure_id in figure_ids:
+        result = run_figure(figure_id, profile, seed=args.seed)
+        print(render_figure(result, precision=args.precision))
+        print()
+    for ablation_id in ablation_ids:
+        result = run_ablation(ablation_id, profile)
+        print(result.render(precision=args.precision))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

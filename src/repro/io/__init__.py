@@ -1,0 +1,19 @@
+"""Persistence: save and load instances, schemes and figure results."""
+
+from repro.io.persistence import (
+    load_figure_result,
+    load_instance,
+    load_scheme,
+    save_figure_result,
+    save_instance,
+    save_scheme,
+)
+
+__all__ = [
+    "save_instance",
+    "load_instance",
+    "save_scheme",
+    "load_scheme",
+    "save_figure_result",
+    "load_figure_result",
+]

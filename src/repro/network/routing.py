@@ -1,0 +1,138 @@
+"""Physical-link routing and per-link traffic accounting.
+
+The DRP's cost model works on the *logical* view — the shortest-path
+cost matrix ``C``.  Operators, however, provision individual links.
+This module projects a replication scheme's traffic back onto the
+physical topology: every read fetch, write shipment and update
+broadcast is routed along a shortest path, and each traversed link is
+charged ``transfer_units * link_cost``.
+
+Because ``C`` is the shortest-path closure, the per-link charges of one
+transfer sum exactly to its logical cost, so the total over all links
+equals the analytic ``D(X)`` — an invariant the test-suite checks.  The
+decomposition reveals what the aggregate hides: which physical links
+carry the traffic, i.e. where the hotspots are.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.problem import DRPInstance
+from repro.core.scheme import ReplicationScheme
+from repro.errors import TopologyError, ValidationError
+from repro.network.shortest_paths import floyd_warshall, reconstruct_path
+from repro.network.topology import Topology
+
+LinkLoads = Dict[Tuple[int, int], float]
+
+
+class Router:
+    """Shortest-path routing tables over a physical topology."""
+
+    def __init__(self, topology: Topology) -> None:
+        if not topology.is_connected():
+            raise TopologyError("cannot route over a disconnected topology")
+        self.topology = topology
+        adjacency = topology.adjacency_matrix()
+        self._dist, self._next = floyd_warshall(
+            adjacency, return_successors=True
+        )
+
+    @property
+    def cost_matrix(self) -> np.ndarray:
+        """The shortest-path cost matrix this router realises."""
+        return self._dist
+
+    def path(self, source: int, target: int) -> List[int]:
+        """Site sequence of a shortest path from ``source`` to ``target``."""
+        return reconstruct_path(self._next, source, target)
+
+    def links_on_path(self, source: int, target: int) -> List[Tuple[int, int]]:
+        """Undirected links (lo, hi) traversed between two sites."""
+        path = self.path(source, target)
+        return [
+            (min(a, b), max(a, b)) for a, b in zip(path, path[1:])
+        ]
+
+    def charge(
+        self, loads: LinkLoads, source: int, target: int, units: float
+    ) -> None:
+        """Add ``units`` of transfer along the route to ``loads`` in place."""
+        for link in self.links_on_path(source, target):
+            loads[link] = loads.get(link, 0.0) + units
+
+
+def link_loads(
+    topology: Topology,
+    instance: DRPInstance,
+    scheme: ReplicationScheme,
+    update_fraction: float = 1.0,
+) -> LinkLoads:
+    """Data units crossing each physical link under the paper's protocol.
+
+    Routes every aggregate flow of the Section 2.1 protocol (reads to the
+    nearest replicator, writes to the primary, broadcasts from the
+    primary to the other replicators) along shortest paths.  The
+    instance's ``cost`` matrix must equal the topology's shortest-path
+    closure — otherwise the logical and physical views describe
+    different networks and the call is refused.
+    """
+    router = Router(topology)
+    if not np.allclose(router.cost_matrix, instance.cost):
+        raise ValidationError(
+            "instance cost matrix is not the shortest-path closure of "
+            "this topology; link loads would be meaningless"
+        )
+    loads: LinkLoads = {}
+    for obj in range(instance.num_objects):
+        size = float(instance.sizes[obj])
+        primary = int(instance.primaries[obj])
+        nearest = scheme.nearest_sites(obj)
+        replicators = [int(j) for j in scheme.replicators(obj)]
+        for site in range(instance.num_sites):
+            reads = float(instance.reads[site, obj])
+            if reads and not scheme.holds(site, obj):
+                router.charge(
+                    loads, site, int(nearest[site]), reads * size
+                )
+            writes = float(instance.writes[site, obj])
+            if writes:
+                wsize = update_fraction * size
+                if site != primary:
+                    router.charge(loads, site, primary, writes * wsize)
+                for j in replicators:
+                    if j in (site, primary):
+                        continue
+                    router.charge(loads, primary, j, writes * wsize)
+    return loads
+
+
+def total_link_cost(topology: Topology, loads: LinkLoads) -> float:
+    """Cost-weighted sum of link loads; equals the analytic ``D(X)``."""
+    total = 0.0
+    for (i, j), units in loads.items():
+        cost = topology.link_cost(i, j)
+        if cost is None:
+            raise ValidationError(f"({i}, {j}) is not a link of the topology")
+        total += units * cost
+    return total
+
+
+def hotspots(
+    topology: Topology, loads: LinkLoads, top: int = 5
+) -> List[Tuple[Tuple[int, int], float, float]]:
+    """The ``top`` busiest links as ``(link, units, cost_weighted)``."""
+    if top < 1:
+        raise ValidationError(f"top must be >= 1, got {top}")
+    ranked = sorted(loads.items(), key=lambda item: item[1], reverse=True)
+    out = []
+    for link, units in ranked[:top]:
+        cost = topology.link_cost(*link) or 0.0
+        out.append((link, units, units * cost))
+    return out
+
+
+__all__ = ["Router", "LinkLoads", "link_loads", "total_link_cost", "hotspots"]

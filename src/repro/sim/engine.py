@@ -1,0 +1,74 @@
+"""The discrete-event simulation engine.
+
+Minimal but complete: events execute in time order (ties broken by
+scheduling order), actions may schedule further events, and the run can be
+bounded by a horizon.  Monotonicity is enforced — scheduling into the past
+is a :class:`~repro.errors.SimulationError`, which catches protocol bugs
+early.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Action, EventQueue
+
+
+class Simulator:
+    """Drives an :class:`~repro.sim.events.EventQueue` forward in time."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, time: float, action: Action) -> None:
+        """Schedule ``action`` at absolute simulated ``time``."""
+        if time < self.now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        self._queue.push(time, action)
+
+    def schedule_in(self, delay: float, action: Action) -> None:
+        """Schedule ``action`` after a relative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        self.schedule(self.now + delay, action)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events until the queue drains or ``until`` is reached.
+
+        With a horizon, events scheduled at exactly ``until`` still run
+        (closed interval), matching the intuition that a run "until t"
+        includes t.
+        """
+        while self._queue:
+            next_time = self._queue.peek_time()
+            assert next_time is not None
+            if until is not None and next_time > until:
+                break
+            event = self._queue.pop()
+            self.now = event.time
+            event.action()
+            self.events_processed += 1
+        if until is not None and until > self.now:
+            self.now = until
+
+    def step(self) -> bool:
+        """Process a single event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        self.now = event.time
+        event.action()
+        self.events_processed += 1
+        return True
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+__all__ = ["Simulator"]

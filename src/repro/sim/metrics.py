@@ -1,0 +1,142 @@
+"""Measurement side of the simulator.
+
+NTC is accounted per transfer (``size * C(src, dst)``), broken down by
+cause (read fetch, write shipment to the primary, update broadcast,
+migration during scheme realisation).  Response times use a simple linear
+latency model: a transfer of ``u`` units over per-unit cost ``c`` takes
+``base_latency + u * c * unit_latency`` — enough to turn NTC shapes into
+the response-time shapes the paper's introduction motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+#: transfer cause labels
+READ_FETCH = "read-fetch"
+WRITE_TO_PRIMARY = "write-to-primary"
+UPDATE_BROADCAST = "update-broadcast"
+MIGRATION = "migration"
+
+CAUSES = (READ_FETCH, WRITE_TO_PRIMARY, UPDATE_BROADCAST, MIGRATION)
+
+
+@dataclass
+class SimulationMetrics:
+    """Accumulated measurements of one simulation run."""
+
+    num_sites: int
+    num_objects: int
+    base_latency: float = 0.0
+    unit_latency: float = 1.0
+
+    ntc_by_cause: Dict[str, float] = field(init=False)
+    ntc_by_site: np.ndarray = field(init=False)
+    ntc_by_object: np.ndarray = field(init=False)
+    transfers: int = field(default=0, init=False)
+    local_reads: int = field(default=0, init=False)
+    rejected_reads: int = field(default=0, init=False)
+    rejected_writes: int = field(default=0, init=False)
+    read_latencies: List[float] = field(init=False)
+    write_latencies: List[float] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.num_sites < 1 or self.num_objects < 1:
+            raise ValidationError("metrics need at least one site and object")
+        self.ntc_by_cause = {cause: 0.0 for cause in CAUSES}
+        self.ntc_by_site = np.zeros(self.num_sites)
+        self.ntc_by_object = np.zeros(self.num_objects)
+        self.read_latencies = []
+        self.write_latencies = []
+
+    # ------------------------------------------------------------------ #
+    def record_transfer(
+        self,
+        cause: str,
+        site: int,
+        obj: int,
+        size: float,
+        unit_cost: float,
+    ) -> float:
+        """Account one transfer; returns its latency."""
+        if cause not in self.ntc_by_cause:
+            raise ValidationError(f"unknown transfer cause {cause!r}")
+        ntc = size * unit_cost
+        self.ntc_by_cause[cause] += ntc
+        self.ntc_by_site[site] += ntc
+        self.ntc_by_object[obj] += ntc
+        self.transfers += 1
+        return self.base_latency + ntc * self.unit_latency
+
+    def record_read_latency(self, latency: float) -> None:
+        self.read_latencies.append(latency)
+
+    def record_write_latency(self, latency: float) -> None:
+        self.write_latencies.append(latency)
+
+    def record_local_read(self) -> None:
+        """A read served by a local replica (zero transfer cost)."""
+        self.local_reads += 1
+        self.read_latencies.append(self.base_latency)
+
+    def record_rejected_read(self) -> None:
+        """A read that could not be served (requester or object down)."""
+        self.rejected_reads += 1
+
+    def record_rejected_write(self) -> None:
+        """A write that could not be applied (writer or primary down)."""
+        self.rejected_writes += 1
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_ntc(self) -> float:
+        return float(sum(self.ntc_by_cause.values()))
+
+    @property
+    def request_ntc(self) -> float:
+        """NTC excluding migration (comparable to the analytic ``D``)."""
+        return self.total_ntc - self.ntc_by_cause[MIGRATION]
+
+    def mean_read_latency(self) -> float:
+        return float(np.mean(self.read_latencies)) if self.read_latencies else 0.0
+
+    def mean_write_latency(self) -> float:
+        return (
+            float(np.mean(self.write_latencies))
+            if self.write_latencies
+            else 0.0
+        )
+
+    def percentile_read_latency(self, q: float) -> float:
+        if not self.read_latencies:
+            return 0.0
+        return float(np.percentile(self.read_latencies, q))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "total_ntc": self.total_ntc,
+            "request_ntc": self.request_ntc,
+            "transfers": float(self.transfers),
+            "local_reads": float(self.local_reads),
+            "rejected_reads": float(self.rejected_reads),
+            "rejected_writes": float(self.rejected_writes),
+            "mean_read_latency": self.mean_read_latency(),
+            "mean_write_latency": self.mean_write_latency(),
+            "p95_read_latency": self.percentile_read_latency(95.0),
+            **{f"ntc[{cause}]": v for cause, v in self.ntc_by_cause.items()},
+        }
+
+
+__all__ = [
+    "SimulationMetrics",
+    "READ_FETCH",
+    "WRITE_TO_PRIMARY",
+    "UPDATE_BROADCAST",
+    "MIGRATION",
+    "CAUSES",
+]

@@ -1,0 +1,358 @@
+"""The read/write protocol of Section 2.1, executed per request.
+
+* **Read**: site ``i`` addresses its nearest replicator ``SN_ik`` and
+  fetches the object (one transfer of ``o_k`` units over ``C(i, SN_ik)``);
+  a local replica serves at zero transfer cost.
+* **Write**: site ``i`` ships the updated object to the primary ``SP_k``
+  (``o_k`` units over ``C(i, SP_k)``), which then broadcasts it to every
+  other replicator ``j`` (``o_k`` units over ``C(SP_k, j)`` each).  The
+  writer itself, if a replicator, is not re-sent the update it authored.
+
+Summing these per-request costs over a trace whose counts match the
+instance's (r, w) matrices reproduces the analytic ``D(X)`` exactly.
+
+Scheme *realisation* (the nightly redistribution of Section 5) is also
+modelled: migrating a replica to a new site pulls the payload from the
+nearest pre-existing replica, and its cost is accounted separately as
+``MIGRATION`` traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.problem import DRPInstance
+from repro.core.scheme import ReplicationScheme
+from repro.errors import SimulationError, ValidationError
+from repro.sim.engine import Simulator
+from repro.sim.metrics import (
+    MIGRATION,
+    READ_FETCH,
+    UPDATE_BROADCAST,
+    WRITE_TO_PRIMARY,
+    SimulationMetrics,
+)
+from repro.workload.trace import READ, WRITE, Request
+
+
+class ReplicaSystem:
+    """Simulated sites serving reads and writes under a replication scheme.
+
+    Parameters
+    ----------
+    instance:
+        Network, sizes and primaries (its count matrices are *not* used —
+        traffic comes from the request trace).
+    scheme:
+        The deployed replica placement; adopted (copied) at construction
+        and mutable afterwards via :meth:`realize_scheme`.
+    update_fraction:
+        Fraction of the object shipped per write (1.0 = paper's policy).
+    """
+
+    def __init__(
+        self,
+        instance: DRPInstance,
+        scheme: ReplicationScheme,
+        metrics: Optional[SimulationMetrics] = None,
+        update_fraction: float = 1.0,
+        write_strategy: "WriteStrategy | str" = None,
+    ) -> None:
+        from repro.core.strategies import WriteStrategy
+
+        if not 0.0 <= update_fraction <= 1.0:
+            raise ValidationError(
+                f"update_fraction must lie in [0, 1], got {update_fraction}"
+            )
+        self.instance = instance
+        self.scheme = scheme.copy()
+        # A scheme computed against drifted patterns of the same physical
+        # system is fine; a different network or storage layout is not.
+        self._check_storage_compatible(scheme.instance)
+        self.metrics = metrics or SimulationMetrics(
+            instance.num_sites, instance.num_objects
+        )
+        self._uf = update_fraction
+        self.write_strategy = WriteStrategy(
+            write_strategy or WriteStrategy.PRIMARY_BROADCAST
+        )
+        # Per-replica freshness for the invalidation strategy; primaries
+        # are always fresh.
+        self._valid = np.ones(
+            (instance.num_sites, instance.num_objects), dtype=bool
+        )
+        # Failed (down) sites: serve nothing, issue nothing, miss updates.
+        self._failed: set = set()
+
+    # ------------------------------------------------------------------ #
+    # failure injection
+    # ------------------------------------------------------------------ #
+    def fail_site(self, site: int) -> None:
+        """Take a site down: it serves nothing and misses all updates."""
+        if not 0 <= site < self.instance.num_sites:
+            raise ValidationError(
+                f"site {site} out of range [0, {self.instance.num_sites})"
+            )
+        self._failed.add(site)
+
+    def recover_site(self, site: int) -> int:
+        """Bring a site back; its replicas resynchronise.
+
+        Under the invalidation strategy recovered replicas are simply
+        marked stale (they refetch lazily on the next read); under the
+        eager strategies each replica refetches immediately from its
+        object's primary, accounted as ``MIGRATION`` (recovery) traffic.
+        Returns the number of immediate refetches.
+        """
+        if site not in self._failed:
+            raise ValidationError(f"site {site} is not failed")
+        from repro.core.strategies import WriteStrategy
+
+        self._failed.discard(site)
+        refetches = 0
+        for obj in self.scheme.objects_at(site):
+            k = int(obj)
+            primary = int(self.instance.primaries[k])
+            if primary == site:
+                continue  # the primary copy is authoritative by definition
+            if self.write_strategy is WriteStrategy.INVALIDATION:
+                self._valid[site, k] = False
+            else:
+                self.metrics.record_transfer(
+                    MIGRATION,
+                    site,
+                    k,
+                    float(self.instance.sizes[k]),
+                    float(self.instance.cost[site, primary]),
+                )
+                refetches += 1
+        return refetches
+
+    @property
+    def failed_sites(self) -> frozenset:
+        return frozenset(self._failed)
+
+    def _alive_nearest(self, site: int, obj: int) -> Optional[int]:
+        """Nearest *alive* replicator of ``obj`` from ``site``, if any."""
+        reps = [
+            int(j)
+            for j in self.scheme.replicators(obj)
+            if int(j) not in self._failed
+        ]
+        if not reps:
+            return None
+        costs = self.instance.cost[site, reps]
+        return reps[int(np.argmin(costs))]
+
+    # ------------------------------------------------------------------ #
+    # request handling
+    # ------------------------------------------------------------------ #
+    def _refresh_replica(self, site: int, obj: int) -> float:
+        """Refetch a stale replica from the primary; returns its latency."""
+        primary = int(self.instance.primaries[obj])
+        latency = self.metrics.record_transfer(
+            READ_FETCH,
+            site,
+            obj,
+            float(self.instance.sizes[obj]),
+            float(self.instance.cost[site, primary]),
+        )
+        self._valid[site, obj] = True
+        return latency
+
+    def handle_read(self, site: int, obj: int) -> float:
+        """Serve a read; returns its latency.
+
+        Under the invalidation strategy a stale replica (local or
+        nearest) first refetches the current version from the primary.
+        """
+        from repro.core.strategies import WriteStrategy
+
+        if site in self._failed:
+            self.metrics.record_rejected_read()
+            return 0.0
+        invalidation = self.write_strategy is WriteStrategy.INVALIDATION
+        primary_alive = (
+            int(self.instance.primaries[obj]) not in self._failed
+        )
+        if self.scheme.holds(site, obj):
+            if invalidation and not self._valid[site, obj]:
+                if primary_alive:
+                    latency = self._refresh_replica(site, obj)
+                    self.metrics.record_read_latency(latency)
+                    return latency
+                # primary down: serve the stale copy (availability over
+                # freshness during the outage)
+            self.metrics.record_local_read()
+            return self.metrics.base_latency
+        nearest = self._alive_nearest(site, obj)
+        if nearest is None:
+            self.metrics.record_rejected_read()  # object unavailable
+            return 0.0
+        latency = 0.0
+        if invalidation and not self._valid[nearest, obj] and primary_alive:
+            latency += self._refresh_replica(nearest, obj)
+        latency += self.metrics.record_transfer(
+            READ_FETCH,
+            site,
+            obj,
+            float(self.instance.sizes[obj]),
+            float(self.instance.cost[site, nearest]),
+        )
+        self.metrics.record_read_latency(latency)
+        return latency
+
+    def handle_write(self, site: int, obj: int) -> float:
+        """Apply a write; returns the writer-visible latency.
+
+        * primary-broadcast (paper): ship to the primary, which
+          broadcasts to the other replicators — the writer waits only for
+          the primary leg;
+        * writer-multicast: the writer ships directly to every
+          replicator and waits for the slowest leg;
+        * invalidation: ship to the primary; all other replicas are
+          marked stale (invalidation messages are cost-free control
+          traffic).
+        """
+        from repro.core.strategies import WriteStrategy
+
+        if site in self._failed:
+            self.metrics.record_rejected_write()
+            return 0.0
+        size = self._uf * float(self.instance.sizes[obj])
+        primary = int(self.instance.primaries[obj])
+
+        if self.write_strategy is WriteStrategy.WRITER_MULTICAST:
+            latency = self.metrics.base_latency
+            for replicator in self.scheme.replicators(obj):
+                j = int(replicator)
+                if j == site or j in self._failed:
+                    continue  # down replicas miss updates
+                leg = self.metrics.record_transfer(
+                    UPDATE_BROADCAST,
+                    j,
+                    obj,
+                    size,
+                    float(self.instance.cost[site, j]),
+                )
+                latency = max(latency, leg)
+            self.metrics.record_write_latency(latency)
+            return latency
+
+        if primary in self._failed:
+            # the primary-copy protocol cannot apply writes while the
+            # primary is down (no automatic failover in the paper's model)
+            self.metrics.record_rejected_write()
+            return 0.0
+        latency = self.metrics.record_transfer(
+            WRITE_TO_PRIMARY,
+            site,
+            obj,
+            size,
+            float(self.instance.cost[site, primary]),
+        )
+        if self.write_strategy is WriteStrategy.INVALIDATION:
+            # stale-mark every replica except the primary and the writer
+            # (which authored the new version locally, if it holds one)
+            for replicator in self.scheme.replicators(obj):
+                j = int(replicator)
+                if j in (primary, site):
+                    continue
+                self._valid[j, obj] = False
+        else:  # PRIMARY_BROADCAST (the paper's Eq. 4 accounting)
+            for replicator in self.scheme.replicators(obj):
+                j = int(replicator)
+                if j == site or j == primary or j in self._failed:
+                    continue
+                self.metrics.record_transfer(
+                    UPDATE_BROADCAST,
+                    j,
+                    obj,
+                    size,
+                    float(self.instance.cost[primary, j]),
+                )
+        self.metrics.record_write_latency(latency)
+        return latency
+
+    def handle_request(self, request: Request) -> float:
+        if request.kind == READ:
+            return self.handle_read(request.site, request.obj)
+        return self.handle_write(request.site, request.obj)
+
+    # ------------------------------------------------------------------ #
+    # trace replay
+    # ------------------------------------------------------------------ #
+    def replay(self, trace: Iterable[Request]) -> SimulationMetrics:
+        """Replay a whole trace immediately (no event scheduling)."""
+        for request in trace:
+            self.handle_request(request)
+        return self.metrics
+
+    def attach(self, simulator: Simulator, trace: Iterable[Request]) -> None:
+        """Schedule every request of ``trace`` onto ``simulator``."""
+        for request in trace:
+            simulator.schedule(
+                request.time,
+                lambda req=request: self.handle_request(req),
+            )
+
+    # ------------------------------------------------------------------ #
+    # scheme realisation
+    # ------------------------------------------------------------------ #
+    def realize_scheme(self, target: ReplicationScheme) -> int:
+        """Migrate to ``target``: create missing replicas, drop stale ones.
+
+        New replicas pull their payload from the nearest *pre-existing*
+        replica (accounted as ``MIGRATION`` traffic); deallocation is
+        free.  Returns the number of migrations performed.
+        """
+        self._check_storage_compatible(target.instance)
+        current = self.scheme.matrix
+        desired = target.matrix
+        migrations = 0
+        # Drops first so capacity frees up before additions land.
+        for site, obj in zip(*np.nonzero(current & ~desired)):
+            self.scheme.drop_replica(int(site), int(obj))
+        for site, obj in zip(*np.nonzero(desired & ~current)):
+            site, obj = int(site), int(obj)
+            source = int(self.scheme.nearest_sites(obj)[site])
+            self.metrics.record_transfer(
+                MIGRATION,
+                site,
+                obj,
+                float(self.instance.sizes[obj]),
+                float(self.instance.cost[site, source]),
+            )
+            self.scheme.add_replica(site, obj)
+            self._valid[site, obj] = True  # migrated copies are current
+            migrations += 1
+        if not np.array_equal(self.scheme.matrix, target.matrix):
+            raise SimulationError(
+                "scheme realisation did not converge to the target"
+            )
+        return migrations
+
+    def _check_storage_compatible(self, other: DRPInstance) -> None:
+        """Same network/storage layout; patterns are allowed to differ.
+
+        The adaptive loop (Section 5) realises schemes computed against
+        drifted patterns on the same physical system.
+        """
+        base = self.instance
+        if (
+            other.num_sites != base.num_sites
+            or other.num_objects != base.num_objects
+            or not np.array_equal(other.cost, base.cost)
+            or not np.array_equal(other.sizes, base.sizes)
+            or not np.array_equal(other.capacities, base.capacities)
+            or not np.array_equal(other.primaries, base.primaries)
+        ):
+            raise ValidationError(
+                "target scheme's instance has a different network or "
+                "storage layout"
+            )
+
+
+__all__ = ["ReplicaSystem"]

@@ -1,0 +1,26 @@
+"""Shared utilities: deterministic RNG fan-out, tables, timers, validation."""
+
+from repro.utils.rng import as_generator, spawn_generators, spawn_seeds
+from repro.utils.tables import format_series, format_table
+from repro.utils.timers import Stopwatch
+from repro.utils.validation import (
+    check_fraction,
+    check_index,
+    check_matrix,
+    check_positive,
+    check_vector,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "spawn_seeds",
+    "format_series",
+    "format_table",
+    "Stopwatch",
+    "check_fraction",
+    "check_index",
+    "check_matrix",
+    "check_positive",
+    "check_vector",
+]

@@ -1,0 +1,133 @@
+"""Synthetic DRP instance generation per Section 6.1 of the paper.
+
+The recipe, verbatim from the paper:
+
+1. complete network with link costs ``U{1..10}``, closed under shortest
+   paths (the paper's ``C(i, j)`` is defined as the shortest-path cost);
+2. one random primary site per object, no other replicas;
+3. reads ``r_ik ~ U{1..40}``;
+4. per-object total updates: ``T = U% * total_reads``, jittered to
+   ``U[T/2, 3T/2]``, then scattered uniformly over the sites;
+5. object sizes uniform with mean 35 (we use integers ``U{1..69}``);
+6. site capacities ``U[C% * total_size / 2, 3 * C% * total_size / 2]``.
+
+One wrinkle the paper leaves implicit: random capacities can occasionally
+be too small for a site's randomly assigned primary copies.  We resolve it
+by assigning primaries only to sites whose remaining capacity fits the
+object (and, if no site fits, growing the least-loaded site's capacity just
+enough) — so every generated instance is feasible by construction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.problem import DRPInstance
+from repro.network.generators import paper_cost_matrix
+from repro.utils.rng import SeedLike, as_generator, spawn_generators
+from repro.workload.spec import WorkloadSpec
+
+
+def _scatter_counts(
+    total: int, num_sites: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Distribute ``total`` unit requests uniformly at random over sites.
+
+    Equivalent to the paper's "add the requests one by one to randomly
+    chosen sites", implemented as a single multinomial draw.
+    """
+    if total <= 0:
+        return np.zeros(num_sites, dtype=np.int64)
+    return rng.multinomial(total, np.full(num_sites, 1.0 / num_sites))
+
+
+def _assign_primaries(
+    sizes: np.ndarray,
+    capacities: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Random primary sites that respect capacities (growing them if forced)."""
+    num_sites = capacities.shape[0]
+    remaining = capacities.astype(float).copy()
+    primaries = np.empty(sizes.shape[0], dtype=np.int64)
+    # Place the largest objects first so the random choice rarely dead-ends.
+    for k in np.argsort(sizes)[::-1]:
+        feasible = np.nonzero(remaining >= sizes[k])[0]
+        if feasible.size:
+            site = int(rng.choice(feasible))
+        else:
+            site = int(np.argmax(remaining))
+            capacities[site] += sizes[k] - remaining[site]
+            remaining[site] = sizes[k]
+        primaries[k] = site
+        remaining[site] -= sizes[k]
+    return primaries
+
+
+def generate_instance(
+    spec: WorkloadSpec,
+    rng: SeedLike = None,
+    cost: "np.ndarray | None" = None,
+) -> DRPInstance:
+    """Generate one DRP instance following Section 6.1.
+
+    Pass ``cost`` to use an explicit shortest-path cost matrix (e.g.
+    from a tree or Waxman topology) instead of the paper's random
+    complete graph; reads, writes, sizes, capacities and primaries are
+    generated as usual.
+    """
+    gen = as_generator(rng)
+    m, n = spec.num_sites, spec.num_objects
+
+    if cost is None:
+        cost = paper_cost_matrix(m, spec.cost_low, spec.cost_high, gen)
+    else:
+        cost = np.asarray(cost, dtype=float)
+
+    reads = gen.integers(
+        spec.read_low, spec.read_high + 1, size=(m, n)
+    ).astype(np.int64)
+
+    writes = np.zeros((m, n), dtype=np.int64)
+    total_reads = reads.sum(axis=0)
+    for k in range(n):
+        base = spec.update_ratio * float(total_reads[k])
+        low, high = base / 2.0, 3.0 * base / 2.0
+        total_updates = int(round(gen.uniform(low, high))) if base > 0 else 0
+        writes[:, k] = _scatter_counts(total_updates, m, gen)
+
+    # Uniform integer sizes with the requested mean: U{1 .. 2*mean - 1}.
+    sizes = gen.integers(1, 2 * spec.size_mean, size=n).astype(np.int64)
+
+    total_size = float(sizes.sum())
+    cap_low = spec.capacity_ratio * total_size / 2.0
+    cap_high = 3.0 * spec.capacity_ratio * total_size / 2.0
+    capacities = np.ceil(gen.uniform(cap_low, cap_high, size=m)).astype(
+        np.int64
+    )
+
+    primaries = _assign_primaries(sizes, capacities, gen)
+
+    return DRPInstance(
+        cost=cost,
+        sizes=sizes,
+        capacities=capacities,
+        reads=reads,
+        writes=writes,
+        primaries=primaries,
+    )
+
+
+def generate_instances(
+    spec: WorkloadSpec, count: int, rng: SeedLike = None
+) -> List[DRPInstance]:
+    """``count`` independent instances (the paper averages over 15)."""
+    return [
+        generate_instance(spec, child)
+        for child in spawn_generators(rng, count)
+    ]
+
+
+__all__ = ["generate_instance", "generate_instances"]

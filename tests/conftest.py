@@ -1,0 +1,92 @@
+"""Shared fixtures of the test-suite.
+
+``tiny_instance`` is small enough for the exact solver; ``small_instance``
+is the everyday fixture; ``medium_instance`` exercises vectorised paths on
+non-trivial sizes.  All are deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel, DRPInstance, ReplicationScheme
+from repro.workload import WorkloadSpec, generate_instance
+
+
+@pytest.fixture(scope="session")
+def tiny_instance() -> DRPInstance:
+    return generate_instance(
+        WorkloadSpec(num_sites=4, num_objects=5, update_ratio=0.05,
+                     capacity_ratio=0.3),
+        rng=101,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_instance() -> DRPInstance:
+    return generate_instance(
+        WorkloadSpec(num_sites=8, num_objects=15, update_ratio=0.05,
+                     capacity_ratio=0.15),
+        rng=202,
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_instance() -> DRPInstance:
+    return generate_instance(
+        WorkloadSpec(num_sites=25, num_objects=50, update_ratio=0.05,
+                     capacity_ratio=0.15),
+        rng=303,
+    )
+
+
+@pytest.fixture()
+def small_model(small_instance) -> CostModel:
+    return CostModel(small_instance)
+
+
+@pytest.fixture()
+def small_scheme(small_instance) -> ReplicationScheme:
+    return ReplicationScheme.primary_only(small_instance)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_manual_instance() -> DRPInstance:
+    """A tiny hand-written instance with obvious structure, for exactness
+    tests where every cost can be verified by hand."""
+    # 3 sites on a line: 0 --1-- 1 --2-- 2  (C(0,2) = 3 via shortest path)
+    cost = np.array(
+        [
+            [0.0, 1.0, 3.0],
+            [1.0, 0.0, 2.0],
+            [3.0, 2.0, 0.0],
+        ]
+    )
+    sizes = np.array([2.0, 3.0])
+    capacities = np.array([10.0, 10.0, 10.0])
+    reads = np.array(
+        [
+            [4.0, 0.0],
+            [0.0, 5.0],
+            [6.0, 1.0],
+        ]
+    )
+    writes = np.array(
+        [
+            [1.0, 0.0],
+            [0.0, 2.0],
+            [0.0, 1.0],
+        ]
+    )
+    primaries = np.array([0, 1])
+    return DRPInstance(cost, sizes, capacities, reads, writes, primaries)
+
+
+@pytest.fixture()
+def manual_instance() -> DRPInstance:
+    return make_manual_instance()

@@ -1,0 +1,40 @@
+"""AGRAParams validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import AGRAParams
+from repro.algorithms.agra.params import PAPER_AGRA_PARAMS
+from repro.errors import ValidationError
+
+
+def test_paper_defaults():
+    assert PAPER_AGRA_PARAMS.population_size == 10
+    assert PAPER_AGRA_PARAMS.generations == 50
+    assert PAPER_AGRA_PARAMS.crossover_rate == 0.8
+    assert PAPER_AGRA_PARAMS.mutation_rate == 0.01
+    assert PAPER_AGRA_PARAMS.random_init_fraction == 0.5
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("population_size", 1),
+        ("generations", -1),
+        ("crossover_rate", -0.1),
+        ("mutation_rate", 1.1),
+        ("elite_interval", 0),
+        ("random_init_fraction", 1.5),
+    ],
+)
+def test_invalid_values(field, value):
+    with pytest.raises(ValidationError):
+        AGRAParams(**{field: value})
+
+
+def test_with_overrides():
+    params = AGRAParams().with_overrides(generations=7)
+    assert params.generations == 7
+    with pytest.raises(ValidationError):
+        AGRAParams().with_overrides(population_size=-1)

@@ -1,0 +1,154 @@
+"""Transcription and Eq. 6 capacity repair."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.agra.transcription import (
+    repair_capacity,
+    transcribe_population,
+)
+from repro.algorithms.gra.encoding import random_valid_chromosome
+from repro.algorithms.gra.population import Chromosome, Population
+from repro.core import CostModel, ReplicationScheme
+from repro.errors import ValidationError
+from repro.workload import WorkloadSpec, generate_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance(
+        WorkloadSpec(num_sites=10, num_objects=20, update_ratio=0.05,
+                     capacity_ratio=0.12),
+        rng=81,
+    )
+
+
+def overloaded_matrix(instance, rng):
+    matrix = random_valid_chromosome(instance, rng, fill=1.0)
+    # force overload: add replicas at the fullest site until it bursts
+    loads = matrix.astype(float) @ instance.sizes
+    site = int(np.argmax(loads))
+    for obj in np.argsort(instance.sizes)[::-1]:
+        if not matrix[site, obj]:
+            matrix[site, obj] = True
+            loads[site] += instance.sizes[obj]
+            if loads[site] > instance.capacities[site]:
+                break
+    return matrix
+
+
+def test_repair_fixes_overload(instance, rng):
+    matrix = overloaded_matrix(instance, rng)
+    loads = matrix.astype(float) @ instance.sizes
+    assert np.any(loads > instance.capacities + 1e-9)
+    repair_capacity(instance, matrix)
+    loads = matrix.astype(float) @ instance.sizes
+    assert np.all(loads <= instance.capacities + 1e-9)
+
+
+def test_repair_keeps_primaries(instance, rng):
+    matrix = overloaded_matrix(instance, rng)
+    repair_capacity(instance, matrix)
+    n = instance.num_objects
+    assert np.all(matrix[instance.primaries, np.arange(n)])
+
+
+def test_repair_noop_on_valid(instance, rng):
+    matrix = random_valid_chromosome(instance, rng)
+    before = matrix.copy()
+    repair_capacity(instance, matrix)
+    assert np.array_equal(matrix, before)
+
+
+def test_repair_drops_lowest_estimate_first(instance, rng):
+    # Construct a single overloaded site holding exactly two droppable
+    # replicas; the repaired matrix must keep the higher-estimate one.
+    from repro.core.benefit import deallocation_estimate
+
+    matrix = np.zeros(
+        (instance.num_sites, instance.num_objects), dtype=bool
+    )
+    matrix[instance.primaries, np.arange(instance.num_objects)] = True
+    site = int(np.argmin(instance.primary_load()))
+    candidates = [
+        k for k in range(instance.num_objects)
+        if int(instance.primaries[k]) != site
+    ][:2]
+    a, b = candidates
+    matrix[site, a] = True
+    matrix[site, b] = True
+    # shrink the site's capacity so exactly one must go; estimates are
+    # computed on the *tight* instance (Eq. 6 weighs the site capacity)
+    capacities = instance.capacities.copy()
+    capacities[site] = (
+        instance.primary_load()[site]
+        + instance.sizes[a]
+        + instance.sizes[b]
+        - 1.0
+    )
+    tight = type(instance)(
+        instance.cost, instance.sizes, capacities,
+        instance.reads, instance.writes, instance.primaries,
+    )
+    scheme = ReplicationScheme.from_matrix(
+        tight, matrix, enforce_capacity=False
+    )
+    ea = deallocation_estimate(tight, scheme, site, a)
+    eb = deallocation_estimate(tight, scheme, site, b)
+    keep, drop = (a, b) if ea > eb else (b, a)
+    repair_capacity(tight, matrix)
+    assert matrix[site, keep]
+    assert not matrix[site, drop]
+
+
+def test_transcribe_population_sets_column(instance, rng):
+    model = CostModel(instance)
+    members = [
+        Chromosome(random_valid_chromosome(instance, rng))
+        for _ in range(6)
+    ]
+    pop = Population(instance, model, members)
+    obj = 0
+    # a primary-only column only frees capacity, so the repair step never
+    # has to touch it: every member must adopt it verbatim
+    best = np.zeros(instance.num_sites, dtype=bool)
+    best[int(instance.primaries[obj])] = True
+    transcribe_population(pop, [best], obj, rng=rng)
+    pop.evaluate_all()
+    matching = sum(
+        1 for member in pop.members
+        if np.array_equal(member.matrix[:, obj], best)
+    )
+    assert matching == len(pop.members)
+    for member in pop.members:
+        loads = member.matrix.astype(float) @ instance.sizes
+        assert np.all(loads <= instance.capacities + 1e-9)
+
+
+def test_transcribe_empty_columns_rejected(instance, rng):
+    model = CostModel(instance)
+    pop = Population(
+        instance, model,
+        [Chromosome(random_valid_chromosome(instance, rng))],
+    )
+    with pytest.raises(ValidationError):
+        transcribe_population(pop, [], 0)
+
+
+def test_transcribe_invalidates_fitness(instance, rng):
+    model = CostModel(instance)
+    members = [
+        Chromosome(random_valid_chromosome(instance, rng))
+        for _ in range(4)
+    ]
+    pop = Population(instance, model, members)
+    pop.evaluate_all()
+    column = np.zeros(instance.num_sites, dtype=bool)
+    column[int(instance.primaries[1])] = True
+    transcribe_population(pop, [column], 1, rng=rng)
+    # members were re-marked for evaluation and evaluate cleanly again
+    pop.evaluate_all()
+    for member in pop.members:
+        assert member.fitness is not None

@@ -1,0 +1,78 @@
+"""Baseline policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    NoReplication,
+    RandomReplication,
+    ReadOnlyGreedy,
+    SRA,
+)
+from repro.core import CostModel
+from repro.errors import ValidationError
+from repro.workload import WorkloadSpec, generate_instance
+
+
+def test_no_replication_is_primary_only(small_instance):
+    result = NoReplication().run(small_instance)
+    assert result.extra_replicas == 0
+    assert result.savings_percent == pytest.approx(0.0)
+    assert result.total_cost == pytest.approx(result.d_prime)
+
+
+def test_random_replication_valid_and_seeded(small_instance):
+    a = RandomReplication(rng=3).run(small_instance)
+    b = RandomReplication(rng=3).run(small_instance)
+    assert a.scheme.is_valid()
+    assert np.array_equal(a.scheme.matrix, b.scheme.matrix)
+    assert a.extra_replicas > 0
+
+
+def test_random_replication_fill_zero(small_instance):
+    result = RandomReplication(fill=0.0, rng=1).run(small_instance)
+    assert result.extra_replicas == 0
+
+
+def test_random_replication_fill_validation():
+    with pytest.raises(ValidationError):
+        RandomReplication(fill=1.5)
+
+
+def test_read_only_greedy_valid(small_instance):
+    result = ReadOnlyGreedy().run(small_instance)
+    assert result.scheme.is_valid()
+    assert result.extra_replicas > 0
+
+
+def test_read_only_matches_sra_without_writes():
+    inst = generate_instance(
+        WorkloadSpec(num_sites=8, num_objects=12, update_ratio=0.0,
+                     capacity_ratio=0.5),
+        rng=31,
+    )
+    model = CostModel(inst)
+    rog = ReadOnlyGreedy().run(inst, model)
+    sra = SRA().run(inst, model)
+    # with zero writes both maximise pure read savings; they pack the
+    # knapsacks in different orders, so allow a several-point gap
+    assert rog.savings_percent == pytest.approx(
+        sra.savings_percent, abs=8.0
+    )
+    assert rog.savings_percent > 0.8 * sra.savings_percent
+
+
+def test_read_only_loses_at_high_update_ratio():
+    inst = generate_instance(
+        WorkloadSpec(num_sites=12, num_objects=25, update_ratio=0.4,
+                     capacity_ratio=0.15),
+        rng=32,
+    )
+    model = CostModel(inst)
+    rog = ReadOnlyGreedy().run(inst, model)
+    sra = SRA().run(inst, model)
+    assert sra.total_cost <= rog.total_cost
+    # read-only greed can even be worse than not replicating at all
+    assert sra.savings_percent >= rog.savings_percent

@@ -1,0 +1,57 @@
+"""Head-to-head algorithm comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import NoReplication, SRA
+from repro.analysis import compare_algorithms
+from repro.errors import ValidationError
+from repro.workload import WorkloadSpec, generate_instances
+
+SPEC = WorkloadSpec(
+    num_sites=8, num_objects=14, update_ratio=0.05, capacity_ratio=0.15
+)
+
+FACTORIES = {
+    "SRA": lambda seed: SRA(),
+    "none": lambda seed: NoReplication(),
+}
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return generate_instances(SPEC, 4, rng=10)
+
+
+def test_report_structure(instances):
+    report = compare_algorithms(instances, FACTORIES, seed=1)
+    assert set(report.savings) == {"SRA", "none"}
+    assert report.instances == 4
+    assert report.savings["SRA"].count == 4
+    assert report.savings["none"].mean == pytest.approx(0.0)
+
+
+def test_best_algorithm(instances):
+    report = compare_algorithms(instances, FACTORIES, seed=2)
+    assert report.best_algorithm() == "SRA"
+
+
+def test_render(instances):
+    report = compare_algorithms(instances, FACTORIES, seed=3)
+    text = report.render()
+    assert "SRA" in text
+    assert "savings %" in text
+
+
+def test_reproducible(instances):
+    a = compare_algorithms(instances, FACTORIES, seed=4)
+    b = compare_algorithms(instances, FACTORIES, seed=4)
+    assert a.savings["SRA"].mean == pytest.approx(b.savings["SRA"].mean)
+
+
+def test_validation(instances):
+    with pytest.raises(ValidationError):
+        compare_algorithms([], FACTORIES)
+    with pytest.raises(ValidationError):
+        compare_algorithms(instances, {})

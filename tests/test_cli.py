@@ -1,0 +1,99 @@
+"""The ``repro`` command-line interface, exercised through main()."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.io import load_instance, load_scheme
+
+
+@pytest.fixture()
+def instance_file(tmp_path):
+    path = tmp_path / "inst.json"
+    assert main([
+        "generate", "--sites", "8", "--objects", "14",
+        "--seed", "5", "-o", str(path),
+    ]) == 0
+    return path
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 2
+    assert "repro" in capsys.readouterr().out
+
+
+def test_generate_writes_instance(instance_file):
+    instance = load_instance(instance_file)
+    assert instance.num_sites == 8
+    assert instance.num_objects == 14
+
+
+def test_solve_and_save_scheme(instance_file, tmp_path, capsys):
+    scheme_path = tmp_path / "scheme.json"
+    assert main([
+        "solve", str(instance_file), "--algorithm", "sra",
+        "--save-scheme", str(scheme_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "SRA" in out
+    scheme = load_scheme(scheme_path)
+    assert scheme.is_valid()
+
+
+def test_solve_gra_with_generations(instance_file, capsys):
+    assert main([
+        "solve", str(instance_file), "--algorithm", "gra",
+        "--generations", "4", "--seed", "1",
+    ]) == 0
+    assert "GRA" in capsys.readouterr().out
+
+
+def test_solve_optimal_rejects_large(tmp_path, capsys):
+    big = tmp_path / "big.json"
+    main(["generate", "--sites", "12", "--objects", "20", "-o", str(big)])
+    assert main(["solve", str(big), "--algorithm", "optimal"]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_evaluate(instance_file, tmp_path, capsys):
+    scheme_path = tmp_path / "scheme.json"
+    main([
+        "solve", str(instance_file), "--algorithm", "sra",
+        "--save-scheme", str(scheme_path),
+    ])
+    capsys.readouterr()
+    assert main(["evaluate", str(scheme_path)]) == 0
+    out = capsys.readouterr().out
+    assert "savings" in out
+
+
+def test_simulate_matches_analytic(instance_file, tmp_path, capsys):
+    scheme_path = tmp_path / "scheme.json"
+    main([
+        "solve", str(instance_file), "--algorithm", "sra",
+        "--save-scheme", str(scheme_path),
+    ])
+    capsys.readouterr()
+    assert main(["simulate", str(scheme_path), "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "exact match:       True" in out
+
+
+def test_compare(capsys):
+    assert main([
+        "compare", "--sites", "6", "--objects", "10",
+        "--instances", "2", "--algorithm", "sra", "--algorithm", "none",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "best by mean savings" in out
+
+
+def test_missing_file_is_clean_error(capsys):
+    assert main(["solve", "/nonexistent/inst.json"]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_figures_delegates(capsys):
+    assert main(["figures"]) == 2  # no figure selected: help + exit 2
+    assert "repro-experiments" in capsys.readouterr().out

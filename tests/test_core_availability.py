@@ -1,0 +1,136 @@
+"""Fault-tolerance analysis and hardening."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import SRA
+from repro.core import CostModel, ReplicationScheme
+from repro.core.availability import (
+    expected_failure_impact,
+    failure_report,
+    harden_scheme,
+)
+from repro.errors import ValidationError
+from repro.workload import WorkloadSpec, generate_instance
+
+
+@pytest.fixture(scope="module")
+def setup():
+    inst = generate_instance(
+        WorkloadSpec(num_sites=8, num_objects=12, update_ratio=0.05,
+                     capacity_ratio=0.3),
+        rng=160,
+    )
+    return inst, SRA().run(inst).scheme
+
+
+def test_failure_of_empty_site_costs_nothing(manual_instance):
+    scheme = ReplicationScheme.primary_only(manual_instance)
+    # site 2 hosts nothing: only its own traffic disappears
+    report = failure_report(manual_instance, scheme, 2)
+    assert report.lost_objects == ()
+    assert report.promoted_primaries == {}
+    # remaining sites' costs are unchanged by losing site 2's replicas
+    assert report.cost_increase == pytest.approx(0.0)
+
+
+def test_primary_loss_detected(manual_instance):
+    scheme = ReplicationScheme.primary_only(manual_instance)
+    # object 0's only copy lives at site 0: failing it loses the object
+    report = failure_report(manual_instance, scheme, 0)
+    assert 0 in report.lost_objects
+
+
+def test_replicated_object_survives_primary_failure(manual_instance):
+    scheme = ReplicationScheme.primary_only(manual_instance)
+    scheme.add_replica(2, 0)
+    report = failure_report(manual_instance, scheme, 0)
+    assert 0 not in report.lost_objects
+    assert report.promoted_primaries[0] == 2
+
+
+def test_losing_a_replica_raises_read_costs(manual_instance):
+    scheme = ReplicationScheme.primary_only(manual_instance)
+    scheme.add_replica(2, 0)  # serves site 2's heavy reads locally
+    report = failure_report(manual_instance, scheme, 2)
+    # site 2 down: its reads vanish, but nothing else degrades
+    assert report.cost_increase == pytest.approx(0.0)
+    # now fail site 1 instead: object 1's primary is promoted... no,
+    # object 1's only copy is at site 1 -> lost
+    report1 = failure_report(manual_instance, scheme, 1)
+    assert 1 in report1.lost_objects
+
+
+def test_expected_impact_keys(setup):
+    inst, scheme = setup
+    impact = expected_failure_impact(inst, scheme)
+    assert set(impact) == {
+        "mean_cost_increase",
+        "mean_degraded_percent",
+        "max_degraded_percent",
+        "mean_lost_objects",
+        "worst_lost_objects",
+    }
+    assert impact["mean_lost_objects"] >= 0.0
+
+
+def test_invalid_site_rejected(setup):
+    inst, scheme = setup
+    with pytest.raises(ValidationError):
+        failure_report(inst, scheme, 99)
+
+
+class TestHardening:
+    def test_reaches_min_degree(self, setup):
+        inst, scheme = setup
+        result = harden_scheme(inst, scheme, min_degree=2)
+        assert result.scheme.is_valid()
+        for obj in range(inst.num_objects):
+            if obj in result.unmet_objects:
+                continue
+            assert result.scheme.replica_degree(obj) >= 2
+
+    def test_hardening_eliminates_object_loss(self):
+        # roomy capacities so degree 2 is achievable for every object
+        inst = generate_instance(
+            WorkloadSpec(num_sites=8, num_objects=12, update_ratio=0.2,
+                         capacity_ratio=0.6),
+            rng=161,
+        )
+        scheme = SRA().run(inst).scheme
+        result = harden_scheme(inst, scheme, min_degree=2)
+        assert not result.unmet_objects
+        impact = expected_failure_impact(inst, result.scheme)
+        assert impact["worst_lost_objects"] == 0.0
+
+    def test_input_not_modified(self, setup):
+        inst, scheme = setup
+        before = scheme.matrix.copy()
+        harden_scheme(inst, scheme, min_degree=2)
+        assert np.array_equal(scheme.matrix, before)
+
+    def test_premium_consistent(self, setup):
+        inst, scheme = setup
+        model = CostModel(inst)
+        result = harden_scheme(inst, scheme, min_degree=2, model=model)
+        expected = model.total_cost(result.scheme) - model.total_cost(scheme)
+        assert result.cost_premium == pytest.approx(expected)
+
+    def test_degree_one_is_noop(self, setup):
+        inst, scheme = setup
+        result = harden_scheme(inst, scheme, min_degree=1)
+        assert result.added_replicas == 0
+        assert result.cost_premium == pytest.approx(0.0)
+
+    def test_validation(self, setup):
+        inst, scheme = setup
+        with pytest.raises(ValidationError):
+            harden_scheme(inst, scheme, min_degree=0)
+
+    def test_unmeetable_degree_reported(self, manual_instance):
+        scheme = ReplicationScheme.primary_only(manual_instance)
+        result = harden_scheme(manual_instance, scheme, min_degree=4)
+        # only 3 sites exist: degree 4 is impossible for every object
+        assert len(result.unmet_objects) == manual_instance.num_objects

@@ -1,0 +1,199 @@
+"""The cost model: hand-verified exactness, oracle cross-checks, caching.
+
+The manual instance (see conftest) is small enough that every cost below
+is computed by hand in the comments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel, ReplicationScheme
+from repro.core.cost import reference_total_cost
+from repro.errors import ValidationError
+
+
+def test_primary_only_cost_by_hand(manual_instance):
+    model = CostModel(manual_instance)
+    scheme = ReplicationScheme.primary_only(manual_instance)
+    # object 0: site 2 reads 6 * size 2 * C(2,0)=3  -> 36
+    # object 1: site 2 reads 1 * size 3 * C(2,1)=2  -> 6
+    #           site 2 writes 1 * size 3 * C(2,1)=2 -> 6
+    assert model.total_cost(scheme) == pytest.approx(48.0)
+    assert model.d_prime() == pytest.approx(48.0)
+    assert model.primary_only_object_cost(0) == pytest.approx(36.0)
+    assert model.primary_only_object_cost(1) == pytest.approx(12.0)
+
+
+def test_replica_changes_cost_by_hand(manual_instance):
+    model = CostModel(manual_instance)
+    scheme = ReplicationScheme.primary_only(manual_instance)
+    scheme.add_replica(2, 0)
+    # object 0 now: reads all local; replicators {0, 2} each pay
+    # C(i, SP) * total_writes(=1) * size(=2): site 0 pays 0, site 2 pays 6.
+    assert model.object_cost(0, scheme.matrix[:, 0]) == pytest.approx(6.0)
+    assert model.total_cost(scheme) == pytest.approx(18.0)
+    assert model.savings_percent(scheme) == pytest.approx(62.5)
+    assert model.fitness(scheme) == pytest.approx(0.625)
+
+
+def test_matches_reference_on_random_schemes(small_instance, rng):
+    model = CostModel(small_instance)
+    scheme = ReplicationScheme.primary_only(small_instance)
+    # grow a random valid scheme and compare at every step
+    for _ in range(25):
+        site = int(rng.integers(small_instance.num_sites))
+        obj = int(rng.integers(small_instance.num_objects))
+        if scheme.holds(site, obj):
+            continue
+        if (
+            scheme.remaining_capacity()[site]
+            < small_instance.sizes[obj]
+        ):
+            continue
+        scheme.add_replica(site, obj)
+        assert model.total_cost(scheme) == pytest.approx(
+            reference_total_cost(small_instance, scheme)
+        )
+
+
+def test_update_fraction_scales_write_terms(manual_instance):
+    full = CostModel(manual_instance, update_fraction=1.0)
+    half = CostModel(manual_instance, update_fraction=0.5)
+    scheme = ReplicationScheme.primary_only(manual_instance)
+    # primary-only: obj1 write cost 6 halves to 3; reads unchanged (42)
+    assert full.total_cost(scheme) == pytest.approx(48.0)
+    assert half.total_cost(scheme) == pytest.approx(45.0)
+    assert half.total_cost(scheme) == pytest.approx(
+        reference_total_cost(manual_instance, scheme, update_fraction=0.5)
+    )
+
+
+def test_zero_update_fraction_means_read_only(manual_instance):
+    model = CostModel(manual_instance, update_fraction=0.0)
+    scheme = ReplicationScheme.primary_only(manual_instance)
+    assert model.total_cost(scheme) == pytest.approx(42.0)
+
+
+def test_invalid_update_fraction():
+    import tests.conftest as c
+
+    inst = c.make_manual_instance()
+    with pytest.raises(ValidationError):
+        CostModel(inst, update_fraction=1.5)
+    with pytest.raises(ValidationError):
+        CostModel(inst, update_fraction=-0.1)
+
+
+def test_decomposition_sums_to_total(small_instance, rng):
+    model = CostModel(small_instance)
+    scheme = ReplicationScheme.primary_only(small_instance)
+    for _ in range(10):
+        site = int(rng.integers(small_instance.num_sites))
+        obj = int(rng.integers(small_instance.num_objects))
+        if not scheme.holds(site, obj) and (
+            scheme.remaining_capacity()[site] >= small_instance.sizes[obj]
+        ):
+            scheme.add_replica(site, obj)
+    reads = model.read_cost_components(scheme)
+    writes = model.write_cost_components(scheme)
+    assert reads.sum() + writes.sum() == pytest.approx(
+        model.total_cost(scheme)
+    )
+    assert np.all(reads >= 0)
+    assert np.all(writes >= 0)
+
+
+def test_write_components_by_hand(manual_instance):
+    model = CostModel(manual_instance)
+    scheme = ReplicationScheme.primary_only(manual_instance)
+    writes = model.write_cost_components(scheme)
+    # Eq. 2 with R_k = {SP_k}: W_ik = w_ik * o_k * C(i, SP_k)
+    assert writes[0, 0] == pytest.approx(0.0)  # C(0,0) = 0
+    assert writes[2, 1] == pytest.approx(6.0)  # 1 * 3 * C(2,1)=2
+    assert writes[1, 1] == pytest.approx(0.0)  # writer is the primary
+
+
+def test_add_delta_matches_recomputation(small_instance, rng):
+    model = CostModel(small_instance)
+    scheme = ReplicationScheme.primary_only(small_instance)
+    for _ in range(15):
+        site = int(rng.integers(small_instance.num_sites))
+        obj = int(rng.integers(small_instance.num_objects))
+        if scheme.holds(site, obj):
+            continue
+        if scheme.remaining_capacity()[site] < small_instance.sizes[obj]:
+            continue
+        before = model.total_cost(scheme)
+        delta = model.add_delta(scheme, site, obj)
+        scheme.add_replica(site, obj)
+        assert model.total_cost(scheme) == pytest.approx(before + delta)
+
+
+def test_drop_delta_inverse_of_add(small_instance):
+    model = CostModel(small_instance)
+    scheme = ReplicationScheme.primary_only(small_instance)
+    primary = int(small_instance.primaries[3])
+    # a non-primary site with room for object 3
+    site = next(
+        i
+        for i in range(small_instance.num_sites)
+        if i != primary
+        and scheme.remaining_capacity()[i] >= small_instance.sizes[3]
+    )
+    add = model.add_delta(scheme, site, 3)
+    scheme.add_replica(site, 3)
+    drop = model.drop_delta(scheme, site, 3)
+    assert add == pytest.approx(-drop)
+
+
+def test_delta_errors(small_instance):
+    model = CostModel(small_instance)
+    scheme = ReplicationScheme.primary_only(small_instance)
+    primary = int(small_instance.primaries[0])
+    with pytest.raises(ValueError):
+        model.add_delta(scheme, primary, 0)  # already held
+    with pytest.raises(ValueError):
+        model.drop_delta(scheme, primary, 0)  # primary copy
+    other = (primary + 1) % small_instance.num_sites
+    with pytest.raises(ValueError):
+        model.drop_delta(scheme, other, 0)  # not held
+
+
+def test_cache_consistency(small_instance):
+    cached = CostModel(small_instance)
+    uncached = CostModel(small_instance, cache_size=0)
+    scheme = ReplicationScheme.primary_only(small_instance)
+    for _ in range(3):  # repeated calls hit the cache
+        assert cached.total_cost(scheme) == pytest.approx(
+            uncached.total_cost(scheme)
+        )
+    info = cached.cache_info()
+    assert info["entries"] > 0
+    cached.clear_cache()
+    assert cached.cache_info()["entries"] == 0
+
+
+def test_cache_eviction_when_full(small_instance):
+    model = CostModel(small_instance, cache_size=5)
+    scheme = ReplicationScheme.primary_only(small_instance)
+    model.total_cost(scheme)  # populates more than 5 entries -> clears
+    assert model.cache_info()["entries"] <= 5
+
+
+def test_matrix_input_accepted(small_instance):
+    model = CostModel(small_instance)
+    scheme = ReplicationScheme.primary_only(small_instance)
+    assert model.total_cost(scheme.matrix) == pytest.approx(
+        model.total_cost(scheme)
+    )
+    with pytest.raises(ValidationError):
+        model.total_cost(np.zeros((1, 1), dtype=bool))
+
+
+def test_savings_of_primary_only_is_zero(small_instance):
+    model = CostModel(small_instance)
+    scheme = ReplicationScheme.primary_only(small_instance)
+    assert model.savings_percent(scheme) == pytest.approx(0.0)
+    assert model.fitness(scheme) == pytest.approx(0.0)

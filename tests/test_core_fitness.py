@@ -1,0 +1,35 @@
+"""Normalised fitness helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import fitness_from_costs, savings_percent
+from repro.errors import ValidationError
+
+
+def test_basic_values():
+    assert fitness_from_costs(100.0, 50.0) == pytest.approx(0.5)
+    assert fitness_from_costs(100.0, 100.0) == pytest.approx(0.0)
+    assert fitness_from_costs(100.0, 0.0) == pytest.approx(1.0)
+
+
+def test_negative_fitness_allowed():
+    # worse-than-primary schemes yield negative raw fitness; the GA engines
+    # are responsible for the reset-to-zero rule.
+    assert fitness_from_costs(100.0, 150.0) == pytest.approx(-0.5)
+
+
+def test_zero_d_prime():
+    assert fitness_from_costs(0.0, 0.0) == 0.0
+
+
+def test_savings_percent():
+    assert savings_percent(200.0, 150.0) == pytest.approx(25.0)
+
+
+def test_negative_costs_rejected():
+    with pytest.raises(ValidationError):
+        fitness_from_costs(-1.0, 0.0)
+    with pytest.raises(ValidationError):
+        fitness_from_costs(1.0, -2.0)

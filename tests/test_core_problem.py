@@ -1,0 +1,139 @@
+"""DRPInstance validation, derived quantities and serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DRPInstance
+from repro.errors import InfeasibleProblemError, ValidationError
+
+
+def minimal_arrays():
+    cost = np.array([[0.0, 2.0], [2.0, 0.0]])
+    sizes = np.array([3.0, 4.0])
+    capacities = np.array([10.0, 10.0])
+    reads = np.ones((2, 2))
+    writes = np.zeros((2, 2))
+    primaries = np.array([0, 1])
+    return cost, sizes, capacities, reads, writes, primaries
+
+
+def test_valid_construction():
+    inst = DRPInstance(*minimal_arrays())
+    assert inst.num_sites == 2
+    assert inst.num_objects == 2
+
+
+def test_arrays_read_only():
+    inst = DRPInstance(*minimal_arrays())
+    with pytest.raises(ValueError):
+        inst.reads[0, 0] = 99.0
+    with pytest.raises(ValueError):
+        inst.cost[0, 1] = 5.0
+
+
+def test_asymmetric_cost_rejected():
+    cost, *rest = minimal_arrays()
+    cost = cost.copy()
+    cost[0, 1] = 3.0
+    with pytest.raises(ValidationError):
+        DRPInstance(cost, *rest)
+
+
+def test_nonzero_diagonal_rejected():
+    cost, *rest = minimal_arrays()
+    cost = cost.copy()
+    cost[0, 0] = 1.0
+    with pytest.raises(ValidationError):
+        DRPInstance(cost, *rest)
+
+
+def test_non_square_cost_rejected():
+    _, sizes, caps, reads, writes, primaries = minimal_arrays()
+    with pytest.raises(ValidationError):
+        DRPInstance(np.zeros((2, 3)), sizes, caps, reads, writes, primaries)
+
+
+def test_zero_size_object_rejected():
+    cost, sizes, *rest = minimal_arrays()
+    sizes = sizes.copy()
+    sizes[0] = 0.0
+    with pytest.raises(ValidationError):
+        DRPInstance(cost, sizes, *rest)
+
+
+def test_negative_reads_rejected():
+    cost, sizes, caps, reads, writes, primaries = minimal_arrays()
+    reads = reads.copy()
+    reads[0, 0] = -1.0
+    with pytest.raises(ValidationError):
+        DRPInstance(cost, sizes, caps, reads, writes, primaries)
+
+
+def test_primary_out_of_range_rejected():
+    cost, sizes, caps, reads, writes, _ = minimal_arrays()
+    with pytest.raises(ValidationError):
+        DRPInstance(cost, sizes, caps, reads, writes, np.array([0, 2]))
+
+
+def test_primary_overflow_is_infeasible():
+    cost, sizes, caps, reads, writes, primaries = minimal_arrays()
+    caps = np.array([2.0, 10.0])  # object 0 (size 3) cannot live at site 0
+    with pytest.raises(InfeasibleProblemError):
+        DRPInstance(cost, sizes, caps, reads, writes, primaries)
+
+
+def test_metric_check_optional():
+    cost = np.array(
+        [[0.0, 10.0, 1.0], [10.0, 0.0, 1.0], [1.0, 1.0, 0.0]]
+    )
+    sizes = np.array([1.0])
+    caps = np.full(3, 5.0)
+    reads = np.ones((3, 1))
+    writes = np.zeros((3, 1))
+    primaries = np.array([0])
+    # without check: accepted
+    DRPInstance(cost, sizes, caps, reads, writes, primaries)
+    with pytest.raises(ValidationError):
+        DRPInstance(
+            cost, sizes, caps, reads, writes, primaries, check_metric=True
+        )
+
+
+def test_derived_quantities(manual_instance):
+    inst = manual_instance
+    assert np.array_equal(inst.total_reads(), [10.0, 6.0])
+    assert np.array_equal(inst.total_writes(), [1.0, 3.0])
+    assert inst.update_ratio() == pytest.approx(4.0 / 16.0)
+    assert np.array_equal(inst.primary_load(), [2.0, 3.0, 0.0])
+    assert inst.capacity_ratio() == pytest.approx(30.0 / 5.0)
+
+
+def test_update_ratio_degenerate():
+    cost, sizes, caps, reads, writes, primaries = minimal_arrays()
+    inst = DRPInstance(cost, sizes, caps, np.zeros((2, 2)), writes, primaries)
+    assert inst.update_ratio() == 0.0
+    inst2 = DRPInstance(
+        cost, sizes, caps, np.zeros((2, 2)), np.ones((2, 2)), primaries
+    )
+    assert inst2.update_ratio() == np.inf
+
+
+def test_with_patterns(manual_instance):
+    new_reads = manual_instance.reads * 2
+    updated = manual_instance.with_patterns(reads=new_reads)
+    assert np.array_equal(updated.reads, new_reads)
+    assert np.array_equal(updated.writes, manual_instance.writes)
+    assert np.array_equal(updated.cost, manual_instance.cost)
+    assert updated != manual_instance
+
+
+def test_dict_roundtrip(manual_instance):
+    again = DRPInstance.from_dict(manual_instance.to_dict())
+    assert again == manual_instance
+
+
+def test_repr(manual_instance):
+    text = repr(manual_instance)
+    assert "M=3" in text and "N=2" in text

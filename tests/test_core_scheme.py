@@ -1,0 +1,167 @@
+"""ReplicationScheme invariants and operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DRPInstance, ReplicationScheme
+from repro.errors import CapacityError, PrimaryCopyError, ValidationError
+
+
+def test_primary_only_structure(small_instance):
+    scheme = ReplicationScheme.primary_only(small_instance)
+    assert scheme.total_replicas() == small_instance.num_objects
+    assert scheme.extra_replicas() == 0
+    for k in range(small_instance.num_objects):
+        assert list(scheme.replicators(k)) == [small_instance.primaries[k]]
+
+
+def test_from_matrix_requires_primaries(small_instance):
+    matrix = np.zeros(
+        (small_instance.num_sites, small_instance.num_objects), dtype=bool
+    )
+    with pytest.raises(PrimaryCopyError):
+        ReplicationScheme.from_matrix(small_instance, matrix)
+
+
+def test_from_matrix_shape_check(small_instance):
+    with pytest.raises(ValidationError):
+        ReplicationScheme.from_matrix(small_instance, np.zeros((2, 2)))
+
+
+def test_add_and_drop(small_instance):
+    scheme = ReplicationScheme.primary_only(small_instance)
+    obj = 0
+    primary = int(small_instance.primaries[obj])
+    site = (primary + 1) % small_instance.num_sites
+    scheme.add_replica(site, obj)
+    assert scheme.holds(site, obj)
+    assert scheme.extra_replicas() == 1
+    scheme.drop_replica(site, obj)
+    assert not scheme.holds(site, obj)
+    assert scheme.extra_replicas() == 0
+
+
+def test_add_duplicate_rejected(small_instance):
+    scheme = ReplicationScheme.primary_only(small_instance)
+    primary = int(small_instance.primaries[0])
+    with pytest.raises(ValueError):
+        scheme.add_replica(primary, 0)
+
+
+def test_drop_missing_rejected(small_instance):
+    scheme = ReplicationScheme.primary_only(small_instance)
+    primary = int(small_instance.primaries[0])
+    other = (primary + 1) % small_instance.num_sites
+    with pytest.raises(ValueError):
+        scheme.drop_replica(other, 0)
+
+
+def test_drop_primary_rejected(small_instance):
+    scheme = ReplicationScheme.primary_only(small_instance)
+    primary = int(small_instance.primaries[0])
+    with pytest.raises(PrimaryCopyError):
+        scheme.drop_replica(primary, 0)
+
+
+def test_capacity_enforced(manual_instance):
+    scheme = ReplicationScheme.primary_only(manual_instance)
+    # site 2 has capacity 10; objects sizes 2 and 3 both fit
+    scheme.add_replica(2, 0)
+    scheme.add_replica(2, 1)
+    assert scheme.used_storage()[2] == 5.0
+    # force a small capacity via a fresh instance
+    tight = DRPInstance(
+        manual_instance.cost,
+        manual_instance.sizes,
+        np.array([10.0, 10.0, 2.0]),
+        manual_instance.reads,
+        manual_instance.writes,
+        manual_instance.primaries,
+    )
+    tight_scheme = ReplicationScheme.primary_only(tight)
+    tight_scheme.add_replica(2, 0)  # size 2 fits exactly
+    with pytest.raises(CapacityError):
+        tight_scheme.add_replica(2, 1)
+
+
+def test_unenforced_capacity_tracks_violations(manual_instance):
+    tight = DRPInstance(
+        manual_instance.cost,
+        manual_instance.sizes,
+        np.array([10.0, 10.0, 2.0]),
+        manual_instance.reads,
+        manual_instance.writes,
+        manual_instance.primaries,
+    )
+    matrix = np.zeros((3, 2), dtype=bool)
+    matrix[tight.primaries, np.arange(2)] = True
+    matrix[2, :] = True  # both objects at site 2: 5 units > 2 capacity
+    scheme = ReplicationScheme.from_matrix(
+        tight, matrix, enforce_capacity=False
+    )
+    assert not scheme.is_valid()
+    violations = scheme.capacity_violations()
+    assert violations == [(2, 5.0, 2.0)]
+    with pytest.raises(CapacityError):
+        scheme.validate()
+
+
+def test_used_and_remaining(small_instance):
+    scheme = ReplicationScheme.primary_only(small_instance)
+    assert np.allclose(
+        scheme.used_storage(), small_instance.primary_load()
+    )
+    assert np.allclose(
+        scheme.remaining_capacity(),
+        small_instance.capacities - small_instance.primary_load(),
+    )
+
+
+def test_nearest_sites_manual(manual_instance):
+    scheme = ReplicationScheme.primary_only(manual_instance)
+    # object 0 primary at site 0: everyone's nearest is 0
+    assert list(scheme.nearest_sites(0)) == [0, 0, 0]
+    scheme.add_replica(2, 0)
+    # now site 2 reads locally; site 1 is closer to 0 (1) than to 2 (2)
+    assert list(scheme.nearest_sites(0)) == [0, 0, 2]
+
+
+def test_nearest_site_matrix(manual_instance):
+    scheme = ReplicationScheme.primary_only(manual_instance)
+    table = scheme.nearest_site_matrix()
+    assert table.shape == (3, 2)
+    assert np.array_equal(table[:, 0], [0, 0, 0])
+    assert np.array_equal(table[:, 1], [1, 1, 1])
+
+
+def test_copy_is_independent(small_instance):
+    scheme = ReplicationScheme.primary_only(small_instance)
+    clone = scheme.copy()
+    primary = int(small_instance.primaries[0])
+    site = (primary + 1) % small_instance.num_sites
+    clone.add_replica(site, 0)
+    assert not scheme.holds(site, 0)
+    assert scheme != clone
+
+
+def test_matrix_view_read_only(small_instance):
+    scheme = ReplicationScheme.primary_only(small_instance)
+    with pytest.raises(ValueError):
+        scheme.matrix[0, 0] = True
+
+
+def test_dict_roundtrip(small_instance):
+    scheme = ReplicationScheme.primary_only(small_instance)
+    again = ReplicationScheme.from_dict(small_instance, scheme.to_dict())
+    assert again == scheme
+
+
+def test_replica_degrees(manual_instance):
+    scheme = ReplicationScheme.primary_only(manual_instance)
+    scheme.add_replica(2, 0)
+    assert scheme.replica_degree(0) == 2
+    assert scheme.replica_degree(1) == 1
+    assert list(scheme.replica_degrees()) == [2, 1]
+    assert list(scheme.objects_at(2)) == [0]

@@ -1,0 +1,52 @@
+"""Message fabric accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import Message, MessageKind, MessageLog
+from repro.errors import ValidationError
+
+
+COST = np.array([[0.0, 2.0], [2.0, 0.0]])
+
+
+def test_message_validation():
+    with pytest.raises(ValidationError):
+        Message(0, 1, MessageKind.TOKEN, size_units=-1.0)
+
+
+def test_log_counts_by_kind():
+    log = MessageLog(COST)
+    log.record(Message(0, 1, MessageKind.TOKEN))
+    log.record(Message(1, 0, MessageKind.TOKEN_RETURN))
+    log.record(Message(0, 1, MessageKind.OBJECT_TRANSFER, size_units=5.0))
+    assert log.total_messages == 3
+    assert log.control_messages == 2
+    assert log.count_by_kind[MessageKind.TOKEN] == 1
+    assert log.count_by_kind[MessageKind.OBJECT_TRANSFER] == 1
+
+
+def test_log_cost_weighting():
+    log = MessageLog(COST)
+    log.record(Message(0, 1, MessageKind.OBJECT_TRANSFER, size_units=5.0))
+    assert log.data_cost == pytest.approx(10.0)  # 5 units * cost 2
+    log.record(Message(0, 1, MessageKind.STATS, size_units=1.0))
+    assert log.control_cost == pytest.approx(2.0)
+
+
+def test_zero_size_control_messages_free():
+    log = MessageLog(COST)
+    log.record(Message(0, 1, MessageKind.REPLICATE, size_units=0.0))
+    assert log.control_cost == 0.0
+    assert log.control_messages == 1
+
+
+def test_summary_keys():
+    log = MessageLog(COST)
+    log.record(Message(0, 1, MessageKind.TOKEN))
+    summary = log.summary()
+    assert summary["total_messages"] == 1.0
+    assert "count[token]" in summary
+    assert "control_cost" in summary

@@ -1,0 +1,105 @@
+"""Monitor-site statistics collection protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.monitor_protocol import (
+    MonitorProtocol,
+    collection_report,
+)
+from repro.errors import ValidationError
+from repro.workload import WorkloadSpec, apply_pattern_change, generate_instance
+
+
+@pytest.fixture(scope="module")
+def base():
+    return generate_instance(
+        WorkloadSpec(num_sites=8, num_objects=15, update_ratio=0.05,
+                     capacity_ratio=0.2),
+        rng=190,
+    )
+
+
+def test_full_collection_ships_everything(base):
+    protocol = MonitorProtocol(base, monitor_site=0)
+    outcome = protocol.collect(base.reads, base.writes, mode="full")
+    assert outcome.messages == base.num_sites - 1  # monitor is local
+    assert outcome.counters_shipped == (
+        (base.num_sites - 1) * 2 * base.num_objects
+    )
+    assert outcome.monitor_view_exact
+    reads, writes = protocol.monitor_view()
+    assert np.array_equal(reads, base.reads)
+    assert np.array_equal(writes, base.writes)
+
+
+def test_incremental_first_round_ships_everything(base):
+    # the monitor starts knowing nothing: first incremental round is full
+    protocol = MonitorProtocol(base, threshold=0.0)
+    outcome = protocol.collect(base.reads, base.writes, mode="incremental")
+    assert outcome.counters_shipped > 0
+    assert outcome.monitor_view_exact
+
+
+def test_incremental_steady_state_is_silent(base):
+    protocol = MonitorProtocol(base, threshold=0.0)
+    protocol.collect(base.reads, base.writes, mode="incremental")
+    second = protocol.collect(base.reads, base.writes, mode="incremental")
+    assert second.messages == 0
+    assert second.counters_shipped == 0
+
+
+def test_incremental_ships_only_drifted_objects(base):
+    protocol = MonitorProtocol(base, threshold=0.0)
+    protocol.collect(base.reads, base.writes, mode="incremental")
+    drifted, change = apply_pattern_change(base, 6.0, 0.2, 1.0, rng=1)
+    outcome = protocol.collect(
+        drifted.reads, drifted.writes, mode="incremental"
+    )
+    assert outcome.objects_reported <= len(change.changed_objects)
+    assert outcome.counters_shipped < 2 * base.num_sites * base.num_objects
+
+
+def test_threshold_suppresses_noise(base):
+    protocol = MonitorProtocol(base, threshold=0.5)
+    protocol.collect(base.reads, base.writes, mode="incremental")
+    # a tiny wiggle below the threshold ships nothing
+    wiggled = base.reads * 1.05
+    outcome = protocol.collect(wiggled, base.writes, mode="incremental")
+    assert outcome.counters_shipped == 0
+    assert not outcome.monitor_view_exact  # view is (slightly) stale
+
+
+def test_validation(base):
+    with pytest.raises(ValidationError):
+        MonitorProtocol(base, monitor_site=99)
+    with pytest.raises(ValidationError):
+        MonitorProtocol(base, threshold=-1)
+    protocol = MonitorProtocol(base)
+    with pytest.raises(ValidationError):
+        protocol.collect(base.reads, base.writes, mode="gossip")
+    with pytest.raises(ValidationError):
+        protocol.collect(base.reads[:2], base.writes, mode="full")
+
+
+def test_collection_report_savings(base):
+    drift1, _ = apply_pattern_change(base, 6.0, 0.2, 1.0, rng=2)
+    epochs = [base, base, drift1, drift1, base]
+    report = collection_report(epochs, threshold=0.1)
+    assert report["epochs"] == 5
+    assert report["incremental_counters"] < report["full_counters"]
+    assert report["savings_factor"] > 1.0
+
+
+def test_collection_report_validation():
+    with pytest.raises(ValidationError):
+        collection_report([])
+
+
+def test_stats_messages_logged(base):
+    protocol = MonitorProtocol(base)
+    protocol.collect(base.reads, base.writes, mode="full")
+    assert protocol.log.total_messages == base.num_sites - 1
+    assert protocol.log.control_cost > 0  # counters have transfer weight

@@ -1,0 +1,114 @@
+"""Distributed SRA: equivalence with the centralised algorithm and
+message-complexity accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import SRA
+from repro.distributed import DistributedSRA, MessageKind
+from repro.distributed.node import LeaderNode, SiteNode
+from repro.errors import ProtocolError, ValidationError
+from repro.workload import WorkloadSpec, generate_instance
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23, 42])
+def test_matches_centralised_sra(seed):
+    inst = generate_instance(
+        WorkloadSpec(num_sites=10, num_objects=18, update_ratio=0.05,
+                     capacity_ratio=0.15),
+        rng=seed,
+    )
+    central = SRA().run(inst)
+    distributed = DistributedSRA().run(inst)
+    assert np.array_equal(
+        central.scheme.matrix, distributed.scheme.matrix
+    )
+
+
+def test_message_accounting(small_instance):
+    report = DistributedSRA().run(small_instance)
+    log = report.log
+    m = small_instance.num_sites
+    # one STATS per site
+    assert log.count_by_kind[MessageKind.STATS] == m
+    # one TOKEN and one TOKEN_RETURN per round
+    assert log.count_by_kind[MessageKind.TOKEN] == report.token_rounds
+    assert (
+        log.count_by_kind[MessageKind.TOKEN_RETURN] == report.token_rounds
+    )
+    # each replication broadcasts to M-1 sites and ships one payload
+    assert log.count_by_kind[MessageKind.REPLICATE] == (
+        report.replications * (m - 1)
+    )
+    assert (
+        log.count_by_kind[MessageKind.OBJECT_TRANSFER]
+        == report.replications
+    )
+
+
+def test_replication_count_matches_scheme(small_instance):
+    report = DistributedSRA().run(small_instance)
+    assert report.replications == report.scheme.extra_replicas()
+
+
+def test_data_cost_accounts_payload_sizes(small_instance):
+    report = DistributedSRA().run(small_instance)
+    assert report.log.data_cost >= 0.0
+    if report.replications:
+        assert report.log.data_cost > 0.0
+    # control traffic is free in cost units (size 0), just counted
+    assert report.log.control_cost == 0.0
+
+
+def test_leader_site_configurable(small_instance):
+    report = DistributedSRA(leader_site=2).run(small_instance)
+    stats_msgs = [
+        msg
+        for msg in report.log.messages
+        if msg.kind is MessageKind.STATS
+    ]
+    assert all(msg.sender == 2 for msg in stats_msgs)
+
+
+def test_invalid_leader_rejected(small_instance):
+    with pytest.raises(ValidationError):
+        DistributedSRA(leader_site=99).run(small_instance)
+
+
+def test_round_limit_guards_termination(small_instance):
+    with pytest.raises(ProtocolError):
+        DistributedSRA(max_rounds=1).run(small_instance)
+
+
+def test_summary_keys(small_instance):
+    report = DistributedSRA().run(small_instance)
+    summary = report.summary()
+    assert "token_rounds" in summary
+    assert "replications" in summary
+    assert "total_messages" in summary
+
+
+class TestNodes:
+    def test_site_node_requires_stats(self, small_instance):
+        node = SiteNode(0, small_instance)
+        with pytest.raises(ProtocolError):
+            node.benefit(0)
+
+    def test_leader_round_robin(self):
+        leader = LeaderNode(0, 3)
+        order = []
+        for _ in range(6):
+            order.append(leader.next_site())
+            leader.advance()
+        assert order == [0, 1, 2, 0, 1, 2]
+
+    def test_leader_retire(self):
+        leader = LeaderNode(0, 3)
+        leader.retire(1)
+        assert leader.active == [0, 2]
+        leader.retire(0)
+        leader.retire(2)
+        assert leader.done
+        assert leader.next_site() is None

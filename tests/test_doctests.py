@@ -1,0 +1,23 @@
+"""Docstring examples must actually run."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.utils.tables
+import repro.utils.timers
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.utils.tables, repro.utils.timers],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failures in {module.__name__}"
+    )

@@ -1,0 +1,80 @@
+"""Ablation studies, run at micro scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.ablations import (
+    ABLATIONS,
+    AblationResult,
+    run_ablation,
+)
+from tests.test_experiments_figures import MICRO
+
+
+def test_registry_names():
+    assert set(ABLATIONS) == {
+        "gra-design",
+        "write-penalty",
+        "strategies",
+        "metaheuristics",
+        "hardening",
+    }
+
+
+def test_unknown_ablation_rejected():
+    with pytest.raises(ValidationError):
+        run_ablation("magic", MICRO)
+
+
+@pytest.mark.parametrize("ablation_id", sorted(ABLATIONS))
+def test_every_ablation_runs_and_renders(ablation_id):
+    result = run_ablation(ablation_id, MICRO)
+    assert isinstance(result, AblationResult)
+    assert result.ablation_id == ablation_id
+    assert result.rows
+    text = result.render()
+    assert ablation_id in text
+
+
+def test_column_access():
+    result = run_ablation("write-penalty", MICRO)
+    sra = result.column("SRA savings %")
+    assert len(sra) == len(result.rows)
+    with pytest.raises(ValidationError):
+        result.column("nonexistent")
+
+
+def test_write_penalty_wins_at_high_updates():
+    result = run_ablation("write-penalty", MICRO)
+    sra = result.column("SRA savings %")
+    read_only = result.column("read-only savings %")
+    # at the highest update ratio the write-aware greedy must not lose
+    assert sra[-1] >= read_only[-1] - 1e-9
+
+
+def test_gra_design_paper_config_competitive():
+    result = run_ablation("gra-design", MICRO)
+    savings = dict(zip(result.column("variant"),
+                       result.column("savings %")))
+    paper = savings["GRA (paper)"]
+    for label, value in savings.items():
+        assert value <= paper + 5.0, f"{label} dominates unexpectedly"
+
+
+def test_hardening_reduces_losses():
+    result = run_ablation("hardening", MICRO)
+    mean_row = result.rows[-1]
+    assert mean_row[0] == "MEAN"
+    before_lost = mean_row[2]
+    after_lost = mean_row[3]
+    assert after_lost <= before_lost
+
+
+def test_cli_runs_ablation(capsys):
+    from repro.experiments.runner import main
+
+    assert main(["--list-ablations"]) == 0
+    out = capsys.readouterr().out
+    assert "gra-design" in out

@@ -1,0 +1,73 @@
+"""Bulk result export (micro scale)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.export import export_results
+from repro.io import load_figure_result
+from tests.test_experiments_figures import MICRO
+
+
+def test_export_selected(tmp_path):
+    manifest = export_results(
+        tmp_path,
+        MICRO,
+        seed=5,
+        figures=["fig3a"],
+        ablations=["write-penalty"],
+        include_claims=False,
+    )
+    assert manifest["figures"] == ["fig3a"]
+    assert manifest["ablations"] == ["write-penalty"]
+    assert (tmp_path / "manifest.json").exists()
+    assert (tmp_path / "fig3a.json").exists()
+    assert (tmp_path / "fig3a.txt").exists()
+    assert (tmp_path / "ablation-write-penalty.txt").exists()
+    # the JSON round-trips through repro.io
+    figure = load_figure_result(tmp_path / "fig3a.json")
+    assert figure.figure_id == "fig3a"
+    # rendered text matches the figure
+    text = (tmp_path / "fig3a.txt").read_text(encoding="utf-8")
+    assert "fig3a" in text
+
+
+def test_export_claims(tmp_path):
+    export_results(
+        tmp_path,
+        MICRO,
+        seed=5,
+        figures=["fig3a"],
+        ablations=[],
+        include_claims=False,
+    )
+    assert not (tmp_path / "claims.txt").exists()
+
+
+def test_export_manifest_consistent(tmp_path):
+    manifest = export_results(
+        tmp_path,
+        MICRO,
+        seed=6,
+        figures=["fig3b"],
+        ablations=[],
+        include_claims=False,
+    )
+    on_disk = json.loads(
+        (tmp_path / "manifest.json").read_text(encoding="utf-8")
+    )
+    assert on_disk == manifest
+    for name in manifest["files"]:
+        assert (tmp_path / name).exists()
+
+
+def test_export_unknown_ids(tmp_path):
+    with pytest.raises(ValidationError):
+        export_results(tmp_path, MICRO, figures=["fig9x"], ablations=[])
+    with pytest.raises(ValidationError):
+        export_results(
+            tmp_path, MICRO, figures=[], ablations=["nonsense"]
+        )

@@ -1,0 +1,62 @@
+"""Instance-averaged runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import SRA, NoReplication
+from repro.errors import ValidationError
+from repro.experiments.harness import InstanceAverages, average_static_runs
+from repro.workload import WorkloadSpec
+
+SPEC = WorkloadSpec(
+    num_sites=8, num_objects=12, update_ratio=0.05, capacity_ratio=0.15
+)
+
+FACTORIES = {
+    "SRA": lambda seed: SRA(),
+    "None": lambda seed: NoReplication(),
+}
+
+
+def test_averages_structure():
+    averages = average_static_runs(SPEC, FACTORIES, instances=3, seed=1)
+    assert set(averages) == {"SRA", "None"}
+    sra = averages["SRA"]
+    assert sra.runs == 3
+    assert sra.algorithm == "SRA"
+    assert sra.savings_percent >= 0.0
+    assert averages["None"].savings_percent == pytest.approx(0.0)
+
+
+def test_reproducible():
+    a = average_static_runs(SPEC, FACTORIES, instances=2, seed=5)
+    b = average_static_runs(SPEC, FACTORIES, instances=2, seed=5)
+    assert a["SRA"].savings_percent == pytest.approx(
+        b["SRA"].savings_percent
+    )
+    assert a["SRA"].total_cost == pytest.approx(b["SRA"].total_cost)
+
+
+def test_different_seeds_differ():
+    a = average_static_runs(SPEC, FACTORIES, instances=2, seed=5)
+    b = average_static_runs(SPEC, FACTORIES, instances=2, seed=6)
+    assert a["SRA"].total_cost != pytest.approx(b["SRA"].total_cost)
+
+
+def test_paired_instances():
+    # both algorithms see the same networks: NoReplication's cost equals
+    # the d_prime SRA was normalised against, so SRA savings >= 0 on the
+    # same denominators
+    averages = average_static_runs(SPEC, FACTORIES, instances=2, seed=7)
+    assert averages["SRA"].total_cost <= averages["None"].total_cost
+
+
+def test_zero_instances_rejected():
+    with pytest.raises(ValidationError):
+        average_static_runs(SPEC, FACTORIES, instances=0)
+
+
+def test_from_results_empty_rejected():
+    with pytest.raises(ValidationError):
+        InstanceAverages.from_results([])

@@ -1,0 +1,40 @@
+"""The CLI entry point and report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import render_figure, render_figures
+from repro.experiments.runner import build_parser, main
+from tests.test_experiments_figures import MICRO
+
+
+def test_parser_accepts_known_figures():
+    args = build_parser().parse_args(["--figure", "fig1a"])
+    assert args.figure == ["fig1a"]
+
+
+def test_parser_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--figure", "fig99"])
+
+
+def test_main_without_args_prints_help(capsys):
+    assert main([]) == 2
+    out = capsys.readouterr().out
+    assert "repro-experiments" in out
+
+
+def test_render_figures_micro(capsys):
+    text = render_figures(["fig3a"], MICRO, seed=2)
+    assert "fig3a" in text
+    assert "GRA" in text
+
+
+def test_render_figure_precision():
+    from repro.experiments.figures import fig3a, clear_cache
+
+    clear_cache()
+    result = fig3a(MICRO, seed=3)
+    text = render_figure(result, precision=1)
+    assert "fig3a" in text

@@ -1,0 +1,109 @@
+"""Chromosome encoding, validity and perturbation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.gra.encoding import (
+    chromosome_valid,
+    enforce_primaries,
+    flat_to_matrix,
+    gene_loads,
+    gene_valid,
+    matrix_to_flat,
+    perturb_chromosome,
+    random_valid_chromosome,
+)
+from repro.errors import ValidationError
+
+
+def primary_matrix(instance):
+    m, n = instance.num_sites, instance.num_objects
+    matrix = np.zeros((m, n), dtype=bool)
+    matrix[instance.primaries, np.arange(n)] = True
+    return matrix
+
+
+def test_flat_roundtrip(small_instance):
+    matrix = primary_matrix(small_instance)
+    flat = matrix_to_flat(matrix)
+    assert flat.shape == (
+        small_instance.num_sites * small_instance.num_objects,
+    )
+    again = flat_to_matrix(
+        flat, small_instance.num_sites, small_instance.num_objects
+    )
+    assert np.array_equal(matrix, again)
+
+
+def test_flat_layout_is_site_major(small_instance):
+    # bit i*N + k corresponds to (site i, object k)
+    m, n = small_instance.num_sites, small_instance.num_objects
+    matrix = np.zeros((m, n), dtype=bool)
+    matrix[2, 3] = True
+    flat = matrix_to_flat(matrix)
+    assert flat[2 * n + 3]
+    assert flat.sum() == 1
+
+
+def test_flat_wrong_length(small_instance):
+    with pytest.raises(ValidationError):
+        flat_to_matrix(np.zeros(7, dtype=bool), 2, 2)
+
+
+def test_gene_loads_and_validity(small_instance):
+    matrix = primary_matrix(small_instance)
+    loads = gene_loads(small_instance, matrix)
+    assert np.allclose(loads, small_instance.primary_load())
+    assert all(
+        gene_valid(small_instance, matrix, i)
+        for i in range(small_instance.num_sites)
+    )
+    assert chromosome_valid(small_instance, matrix)
+
+
+def test_chromosome_invalid_when_overloaded(small_instance):
+    matrix = primary_matrix(small_instance)
+    matrix[:, :] = True  # everything everywhere: way over capacity
+    assert not chromosome_valid(small_instance, matrix)
+
+
+def test_chromosome_invalid_without_primary(small_instance):
+    matrix = primary_matrix(small_instance)
+    k = 0
+    matrix[small_instance.primaries[k], k] = False
+    assert not chromosome_valid(small_instance, matrix)
+
+
+def test_enforce_primaries(small_instance):
+    m, n = small_instance.num_sites, small_instance.num_objects
+    matrix = np.zeros((m, n), dtype=bool)
+    enforce_primaries(small_instance, matrix)
+    assert np.all(matrix[small_instance.primaries, np.arange(n)])
+
+
+def test_random_valid_chromosome(small_instance, rng):
+    for _ in range(5):
+        matrix = random_valid_chromosome(small_instance, rng)
+        assert chromosome_valid(small_instance, matrix)
+
+
+def test_perturbation_preserves_validity(small_instance, rng):
+    base = random_valid_chromosome(small_instance, rng)
+    for share in (0.1, 0.25, 0.5, 1.0):
+        perturbed = perturb_chromosome(small_instance, base, share, rng)
+        assert chromosome_valid(small_instance, perturbed)
+
+
+def test_perturbation_changes_something(medium_instance, rng):
+    base = random_valid_chromosome(medium_instance, rng)
+    perturbed = perturb_chromosome(medium_instance, base, 0.25, rng)
+    assert not np.array_equal(base, perturbed)
+
+
+def test_perturbation_zero_share_is_identity(small_instance, rng):
+    base = random_valid_chromosome(small_instance, rng)
+    same = perturb_chromosome(small_instance, base, 0.0, rng)
+    assert np.array_equal(base, same)
+    assert same is not base  # still a copy

@@ -1,0 +1,121 @@
+"""Genetic operators: crossover repair and constrained mutation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.gra.encoding import (
+    chromosome_valid,
+    random_valid_chromosome,
+)
+from repro.algorithms.gra.operators import (
+    mutate,
+    single_point_crossover,
+    two_point_crossover,
+)
+from repro.workload import WorkloadSpec, generate_instance
+
+
+@pytest.fixture(scope="module")
+def tight_instance():
+    # tight capacities make crossover boundary-gene violations common,
+    # exercising the repair path
+    return generate_instance(
+        WorkloadSpec(num_sites=10, num_objects=20, update_ratio=0.05,
+                     capacity_ratio=0.08),
+        rng=71,
+    )
+
+
+def test_crossover_children_valid(tight_instance):
+    rng = np.random.default_rng(1)
+    for _ in range(200):
+        a = random_valid_chromosome(tight_instance, rng, fill=1.0)
+        b = random_valid_chromosome(tight_instance, rng, fill=1.0)
+        ca, cb = two_point_crossover(tight_instance, a, b, rng)
+        assert chromosome_valid(tight_instance, ca)
+        assert chromosome_valid(tight_instance, cb)
+
+
+def test_crossover_preserves_parents(small_instance):
+    rng = np.random.default_rng(2)
+    a = random_valid_chromosome(small_instance, rng)
+    b = random_valid_chromosome(small_instance, rng)
+    a_copy, b_copy = a.copy(), b.copy()
+    two_point_crossover(small_instance, a, b, rng)
+    assert np.array_equal(a, a_copy)
+    assert np.array_equal(b, b_copy)
+
+
+def test_crossover_conserves_bits(small_instance):
+    # Crossover only exchanges material: the multiset of bits at each
+    # position across the two children equals that of the parents.
+    rng = np.random.default_rng(3)
+    for _ in range(50):
+        a = random_valid_chromosome(small_instance, rng)
+        b = random_valid_chromosome(small_instance, rng)
+        ca, cb = two_point_crossover(small_instance, a, b, rng)
+        assert np.array_equal(
+            ca.astype(int) + cb.astype(int),
+            a.astype(int) + b.astype(int),
+        )
+
+
+def test_crossover_identical_parents_noop(small_instance):
+    rng = np.random.default_rng(4)
+    a = random_valid_chromosome(small_instance, rng)
+    ca, cb = two_point_crossover(small_instance, a, a.copy(), rng)
+    assert np.array_equal(ca, a)
+    assert np.array_equal(cb, a)
+
+
+def test_mutation_validity(tight_instance):
+    rng = np.random.default_rng(5)
+    for _ in range(100):
+        base = random_valid_chromosome(tight_instance, rng, fill=1.0)
+        mutated = mutate(tight_instance, base, 0.05, rng)
+        assert chromosome_valid(tight_instance, mutated)
+
+
+def test_mutation_zero_rate_is_copy(small_instance, rng):
+    base = random_valid_chromosome(small_instance, rng)
+    out = mutate(small_instance, base, 0.0, rng)
+    assert np.array_equal(base, out)
+    assert out is not base
+
+
+def test_mutation_never_clears_primaries(small_instance):
+    rng = np.random.default_rng(6)
+    n = small_instance.num_objects
+    base = random_valid_chromosome(small_instance, rng)
+    for _ in range(50):
+        mutated = mutate(small_instance, base, 0.5, rng)
+        assert np.all(
+            mutated[small_instance.primaries, np.arange(n)]
+        )
+
+
+def test_mutation_flips_bits_at_high_rate(medium_instance):
+    rng = np.random.default_rng(7)
+    base = random_valid_chromosome(medium_instance, rng)
+    mutated = mutate(medium_instance, base, 0.5, rng)
+    assert not np.array_equal(base, mutated)
+
+
+def test_single_point_crossover_conserves_bits():
+    rng = np.random.default_rng(8)
+    a = rng.random(12) < 0.5
+    b = rng.random(12) < 0.5
+    ca, cb = single_point_crossover(12, a, b, rng)
+    assert np.array_equal(
+        ca.astype(int) + cb.astype(int), a.astype(int) + b.astype(int)
+    )
+
+
+def test_single_point_crossover_short_vectors():
+    rng = np.random.default_rng(9)
+    a = np.array([True])
+    b = np.array([False])
+    ca, cb = single_point_crossover(1, a, b, rng)
+    assert ca[0] and not cb[0]  # nothing to cross

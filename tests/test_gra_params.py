@@ -1,0 +1,50 @@
+"""GAParams validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import GAParams
+from repro.algorithms.gra.params import PAPER_PARAMS
+from repro.errors import ValidationError
+
+
+def test_paper_defaults():
+    assert PAPER_PARAMS.population_size == 50
+    assert PAPER_PARAMS.generations == 80
+    assert PAPER_PARAMS.crossover_rate == 0.9
+    assert PAPER_PARAMS.mutation_rate == 0.01
+    assert PAPER_PARAMS.elite_interval == 5
+    assert PAPER_PARAMS.selection == "mu+lambda"
+    assert PAPER_PARAMS.seeded_init is True
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("population_size", 1),
+        ("generations", -1),
+        ("crossover_rate", 1.5),
+        ("mutation_rate", -0.1),
+        ("elite_interval", 0),
+        ("perturbed_fraction", 2.0),
+        ("perturbation_share", -0.5),
+        ("selection", "tournament"),
+    ],
+)
+def test_invalid_values_rejected(field, value):
+    with pytest.raises(ValidationError):
+        GAParams(**{field: value})
+
+
+def test_with_overrides():
+    params = GAParams().with_overrides(generations=5)
+    assert params.generations == 5
+    assert params.population_size == 50
+    with pytest.raises(ValidationError):
+        GAParams().with_overrides(population_size=0)
+
+
+def test_frozen():
+    with pytest.raises(AttributeError):
+        GAParams().generations = 3  # type: ignore[misc]

@@ -1,0 +1,147 @@
+"""Physical-link routing: the per-link decomposition of D(X)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import SRA
+from repro.core import CostModel, ReplicationScheme
+from repro.errors import TopologyError, ValidationError
+from repro.network import Topology, random_tree_topology, waxman_topology
+from repro.network.routing import (
+    Router,
+    hotspots,
+    link_loads,
+    total_link_cost,
+)
+from repro.network.shortest_paths import floyd_warshall
+from repro.workload import WorkloadSpec, generate_instance
+
+
+def make_setting(seed=170, topology_kind="tree"):
+    if topology_kind == "tree":
+        topology = random_tree_topology(10, rng=seed)
+    else:
+        topology = waxman_topology(10, rng=seed)
+    cost = floyd_warshall(topology.adjacency_matrix())
+    instance = generate_instance(
+        WorkloadSpec(num_sites=10, num_objects=15, update_ratio=0.08,
+                     capacity_ratio=0.3),
+        rng=seed + 1,
+        cost=cost,
+    )
+    scheme = SRA().run(instance).scheme
+    return topology, instance, scheme
+
+
+class TestRouter:
+    def test_path_endpoints(self):
+        topology = random_tree_topology(8, rng=1)
+        router = Router(topology)
+        path = router.path(0, 7)
+        assert path[0] == 0 and path[-1] == 7
+        # consecutive hops are physical links
+        for a, b in zip(path, path[1:]):
+            assert topology.link_cost(a, b) is not None
+
+    def test_path_cost_matches_matrix(self):
+        topology = waxman_topology(10, rng=2)
+        router = Router(topology)
+        for src in range(10):
+            for dst in range(10):
+                cost = sum(
+                    topology.link_cost(a, b)
+                    for a, b in zip(
+                        router.path(src, dst), router.path(src, dst)[1:]
+                    )
+                )
+                assert cost == pytest.approx(router.cost_matrix[src, dst])
+
+    def test_disconnected_rejected(self):
+        topology = Topology(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(TopologyError):
+            Router(topology)
+
+    def test_charge_accumulates(self):
+        topology = Topology(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        router = Router(topology)
+        loads = {}
+        router.charge(loads, 0, 2, 5.0)
+        router.charge(loads, 2, 0, 3.0)
+        assert loads[(0, 1)] == pytest.approx(8.0)
+        assert loads[(1, 2)] == pytest.approx(8.0)
+
+
+@pytest.mark.parametrize("kind", ["tree", "waxman"])
+def test_link_decomposition_equals_analytic_cost(kind):
+    topology, instance, scheme = make_setting(topology_kind=kind)
+    loads = link_loads(topology, instance, scheme)
+    model = CostModel(instance)
+    assert total_link_cost(topology, loads) == pytest.approx(
+        model.total_cost(scheme)
+    )
+
+
+def test_link_decomposition_with_update_fraction():
+    topology, instance, scheme = make_setting()
+    loads = link_loads(topology, instance, scheme, update_fraction=0.5)
+    model = CostModel(instance, update_fraction=0.5)
+    assert total_link_cost(topology, loads) == pytest.approx(
+        model.total_cost(scheme)
+    )
+
+
+def test_mismatched_cost_matrix_rejected():
+    topology, instance, scheme = make_setting()
+    other = generate_instance(
+        WorkloadSpec(num_sites=10, num_objects=15), rng=999
+    )
+    other_scheme = ReplicationScheme.primary_only(other)
+    with pytest.raises(ValidationError):
+        link_loads(topology, other, other_scheme)
+
+
+def test_loads_only_on_physical_links():
+    topology, instance, scheme = make_setting()
+    loads = link_loads(topology, instance, scheme)
+    for (i, j) in loads:
+        assert topology.link_cost(i, j) is not None
+        assert i < j
+
+
+def test_hotspots_ranked():
+    topology, instance, scheme = make_setting()
+    loads = link_loads(topology, instance, scheme)
+    ranked = hotspots(topology, loads, top=3)
+    assert len(ranked) == min(3, len(loads))
+    units = [u for _, u, _ in ranked]
+    assert units == sorted(units, reverse=True)
+    with pytest.raises(ValidationError):
+        hotspots(topology, loads, top=0)
+
+
+def test_replication_relieves_hot_links():
+    # on a star, every remote read crosses a spoke; replicating to the
+    # leaves empties those spokes
+    from repro.network import star_topology
+    from repro.core import DRPInstance
+
+    topology = star_topology(5, cost=2.0)
+    cost = floyd_warshall(topology.adjacency_matrix())
+    instance = DRPInstance(
+        cost=cost,
+        sizes=np.array([1.0]),
+        capacities=np.full(5, 5.0),
+        reads=np.array([[0.0], [10.0], [10.0], [10.0], [10.0]]),
+        writes=np.zeros((5, 1)),
+        primaries=np.array([0]),
+    )
+    sparse = ReplicationScheme.primary_only(instance)
+    sparse_loads = link_loads(topology, instance, sparse)
+    assert sum(sparse_loads.values()) > 0
+    full = ReplicationScheme.primary_only(instance)
+    for leaf in (1, 2, 3, 4):
+        full.add_replica(leaf, 0)
+    full_loads = link_loads(topology, instance, full)
+    assert sum(full_loads.values()) == pytest.approx(0.0)

@@ -1,0 +1,120 @@
+"""Topology construction, mutation and conversion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError, ValidationError
+from repro.network import Topology
+
+
+def line_topology() -> Topology:
+    return Topology(3, [(0, 1, 1.0), (1, 2, 2.0)])
+
+
+def test_basic_construction():
+    topo = line_topology()
+    assert topo.num_sites == 3
+    assert topo.num_links == 2
+    assert topo.link_cost(0, 1) == 1.0
+    assert topo.link_cost(1, 0) == 1.0  # bidirectional
+    assert topo.link_cost(0, 2) is None
+
+
+def test_duplicate_link_keeps_cheapest():
+    topo = Topology(2, [(0, 1, 5.0), (0, 1, 3.0), (1, 0, 7.0)])
+    assert topo.link_cost(0, 1) == 3.0
+    assert topo.num_links == 1
+
+
+def test_self_link_rejected():
+    with pytest.raises(TopologyError):
+        Topology(2, [(0, 0, 1.0)])
+
+
+def test_non_positive_cost_rejected():
+    with pytest.raises(TopologyError):
+        Topology(2, [(0, 1, 0.0)])
+    with pytest.raises(TopologyError):
+        Topology(2, [(0, 1, -2.0)])
+
+
+def test_out_of_range_site_rejected():
+    with pytest.raises(TopologyError):
+        Topology(2, [(0, 2, 1.0)])
+
+
+def test_remove_link():
+    topo = line_topology()
+    topo.remove_link(0, 1)
+    assert topo.link_cost(0, 1) is None
+    with pytest.raises(TopologyError):
+        topo.remove_link(0, 1)
+
+
+def test_neighbors_returns_copy():
+    topo = line_topology()
+    nbrs = topo.neighbors(1)
+    assert nbrs == {0: 1.0, 2: 2.0}
+    nbrs[0] = 99.0
+    assert topo.link_cost(0, 1) == 1.0
+
+
+def test_links_iteration_each_once():
+    topo = line_topology()
+    assert list(topo.links()) == [(0, 1, 1.0), (1, 2, 2.0)]
+
+
+def test_degree():
+    topo = line_topology()
+    assert topo.degree(1) == 2
+    assert topo.degree(0) == 1
+
+
+def test_connectivity():
+    topo = line_topology()
+    assert topo.is_connected()
+    topo.remove_link(0, 1)
+    assert not topo.is_connected()
+    assert Topology(1).is_connected()
+
+
+def test_adjacency_matrix():
+    mat = line_topology().adjacency_matrix()
+    assert mat[0, 1] == 1.0
+    assert np.isinf(mat[0, 2])
+    assert np.all(np.diagonal(mat) == 0.0)
+
+
+def test_cost_matrix_shortest_path_closure():
+    costs = line_topology().cost_matrix()
+    assert costs[0, 2] == 3.0  # via site 1
+    assert np.allclose(costs, costs.T)
+
+
+def test_cost_matrix_disconnected_raises():
+    topo = Topology(3, [(0, 1, 1.0)])
+    with pytest.raises(TopologyError):
+        topo.cost_matrix()
+
+
+def test_from_adjacency_roundtrip():
+    topo = line_topology()
+    again = Topology.from_adjacency_matrix(topo.adjacency_matrix())
+    assert again == topo
+
+
+def test_from_adjacency_requires_symmetry():
+    mat = np.array([[0.0, 1.0], [2.0, 0.0]])
+    with pytest.raises(ValidationError):
+        Topology.from_adjacency_matrix(mat)
+
+
+def test_dict_roundtrip():
+    topo = line_topology()
+    assert Topology.from_dict(topo.to_dict()) == topo
+
+
+def test_repr():
+    assert "num_sites=3" in repr(line_topology())

@@ -1,0 +1,54 @@
+"""Property-based invariants of stochastic remainder selection."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.gra.selection import stochastic_remainder_selection
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+@SETTINGS
+@given(
+    st.lists(st.floats(0.0, 10.0), min_size=1, max_size=12),
+    st.integers(0, 30),
+    st.integers(0, 2**16),
+)
+def test_count_and_floor_guarantee(fitness_list, count, seed):
+    fitness = np.asarray(fitness_list)
+    rng = np.random.default_rng(seed)
+    chosen = stochastic_remainder_selection(fitness, count, rng)
+    assert len(chosen) == count
+    assert np.all(chosen >= 0)
+    assert np.all(chosen < len(fitness))
+    total = fitness.sum()
+    if total > 0:
+        counts = np.bincount(chosen, minlength=len(fitness))
+        expected = count * fitness / total
+        # deterministic floor guarantee of stochastic remainder sampling
+        assert np.all(counts >= np.floor(expected) - 1e-9)
+        # and never more than one above the ceiling
+        assert np.all(counts <= np.ceil(expected) + count)
+
+
+@SETTINGS
+@given(st.integers(1, 12), st.integers(1, 30), st.integers(0, 2**16))
+def test_uniform_fitness_near_uniform_selection(size, count, seed):
+    fitness = np.ones(size)
+    rng = np.random.default_rng(seed)
+    chosen = stochastic_remainder_selection(fitness, count, rng)
+    counts = np.bincount(chosen, minlength=size)
+    # equal fitness: everyone gets floor(count/size) at least
+    assert np.all(counts >= count // size - 1)
+
+
+@SETTINGS
+@given(st.integers(2, 12), st.integers(1, 20), st.integers(0, 2**16))
+def test_zero_fitness_members_only_picked_when_all_zero(size, count, seed):
+    fitness = np.zeros(size)
+    fitness[0] = 5.0
+    rng = np.random.default_rng(seed)
+    chosen = stochastic_remainder_selection(fitness, count, rng)
+    assert np.all(chosen == 0)

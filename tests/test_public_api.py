@@ -1,0 +1,59 @@
+"""The package's public surface: imports, __all__, version."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version_string():
+    assert isinstance(repro.__version__, str)
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"{name} in __all__ but missing"
+
+
+def test_quickstart_docstring_snippet_runs():
+    from repro import SRA, WorkloadSpec, generate_instance
+
+    instance = generate_instance(
+        WorkloadSpec(num_sites=10, num_objects=20), rng=42
+    )
+    result = SRA().run(instance)
+    assert result.savings_percent >= 0
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.core",
+        "repro.algorithms",
+        "repro.algorithms.gra",
+        "repro.algorithms.agra",
+        "repro.network",
+        "repro.workload",
+        "repro.distributed",
+        "repro.sim",
+        "repro.experiments",
+        "repro.utils",
+    ],
+)
+def test_subpackages_importable(module):
+    mod = importlib.import_module(module)
+    assert hasattr(mod, "__all__")
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{module}.{name} missing"
+
+
+def test_public_classes_have_docstrings():
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if isinstance(obj, type) or callable(obj):
+            assert obj.__doc__, f"{name} lacks a docstring"

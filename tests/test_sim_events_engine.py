@@ -1,0 +1,103 @@
+"""Event queue and discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError, ValidationError
+from repro.sim import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, lambda: order.append("b"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(3.0, lambda: order.append("c"))
+        while queue:
+            queue.pop().action()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append("first"))
+        queue.push(1.0, lambda: order.append("second"))
+        queue.pop().action()
+        queue.pop().action()
+        assert order == ["first", "second"]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(4.5, lambda: None)
+        assert queue.peek_time() == 4.5
+
+    def test_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValidationError):
+            queue.push(-1.0, lambda: None)
+
+
+class TestSimulator:
+    def test_runs_in_order_and_tracks_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.0, lambda: seen.append(sim.now))
+        sim.schedule(1.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.0, 2.0]
+        assert sim.now == 2.0
+        assert sim.events_processed == 2
+
+    def test_actions_can_schedule_more(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append("first")
+            sim.schedule_in(1.0, lambda: seen.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_horizon_stops_early(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(5.0, lambda: seen.append(5))
+        sim.run(until=2.0)
+        assert seen == [1]
+        assert sim.now == 2.0
+        assert sim.pending == 1
+        sim.run()
+        assert seen == [1, 5]
+
+    def test_horizon_inclusive(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.0, lambda: seen.append(2))
+        sim.run(until=2.0)
+        assert seen == [2]
+
+    def test_scheduling_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule(0.5, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_in(-1.0, lambda: None)
+
+    def test_step(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.step() is True
+        assert sim.step() is False

@@ -1,0 +1,129 @@
+"""Server-load model: conservation, feasibility, replication effects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import SRA
+from repro.core import ReplicationScheme
+from repro.errors import ValidationError
+from repro.sim.loadmodel import estimate_load, served_units
+from repro.workload import WorkloadSpec, generate_instance
+
+
+@pytest.fixture(scope="module")
+def setup():
+    inst = generate_instance(
+        WorkloadSpec(num_sites=8, num_objects=12, update_ratio=0.05,
+                     capacity_ratio=0.3),
+        rng=180,
+    )
+    return inst, SRA().run(inst).scheme
+
+
+def test_served_units_by_hand(manual_instance):
+    scheme = ReplicationScheme.primary_only(manual_instance)
+    units = served_units(manual_instance, scheme)
+    # object 0 at site 0 only: site 2 reads 6 * size 2 = 12 served by 0;
+    # object 1 at site 1 only: site 2 reads 1 * size 3 = 3 served by 1.
+    # writes: site 0 writes obj 0 AT its primary (self) -> no shipment;
+    # site 1 writes obj 1 at its primary (self); site 2 writes obj 1 ->
+    # ships 1 * 3 = 3 units itself.  No broadcasts (degree 1).
+    assert units[0] == pytest.approx(12.0)
+    assert units[1] == pytest.approx(3.0)
+    assert units[2] == pytest.approx(3.0)
+
+
+def test_broadcast_fanout_charged_to_primary(manual_instance):
+    scheme = ReplicationScheme.primary_only(manual_instance)
+    scheme.add_replica(2, 0)
+    units = served_units(manual_instance, scheme)
+    # object 0 now replicated at {0, 2}: site 2 reads locally (free);
+    # site 0 (primary) broadcasts its own 1 write to site 2: +2 units,
+    # and loses the 12 read units it used to serve site 2.
+    assert units[0] == pytest.approx(2.0)
+
+
+def test_replication_reduces_total_service_when_read_only(setup):
+    # with zero writes, replicas only convert remote reads into free
+    # local reads: the *total* service burden can only shrink.  (The
+    # per-site maximum may rise — replication can concentrate serving on
+    # a well-connected site — which is exactly what the load model is
+    # for.)
+    inst, scheme = setup
+    silent = inst.with_patterns(writes=np.zeros_like(inst.writes))
+    primary_only = ReplicationScheme.primary_only(silent)
+    replicated = ReplicationScheme.from_matrix(silent, scheme.matrix)
+    before = served_units(silent, primary_only)
+    after = served_units(silent, replicated)
+    assert after.sum() <= before.sum() + 1e-9
+
+
+def test_update_fraction_scales_write_service(manual_instance):
+    scheme = ReplicationScheme.primary_only(manual_instance)
+    full = served_units(manual_instance, scheme)
+    half = served_units(manual_instance, scheme, update_fraction=0.5)
+    # site 2's service is pure write shipment: halves
+    assert half[2] == pytest.approx(full[2] / 2.0)
+    # site 0's service is pure reads: unchanged
+    assert half[0] == pytest.approx(full[0])
+
+
+def test_estimate_load_feasibility(setup):
+    inst, scheme = setup
+    units = served_units(inst, scheme)
+    generous = estimate_load(
+        inst, scheme, duration=60.0, service_rate=units.max()
+    )
+    assert generous.feasible
+    assert generous.peak_utilization < 1.0
+    assert np.isfinite(generous.mean_read_response)
+
+    starved = estimate_load(
+        inst, scheme, duration=60.0, service_rate=units.max() / 120.0
+    )
+    assert not starved.feasible
+    assert starved.mean_read_response == np.inf or (
+        starved.mean_read_response > generous.mean_read_response
+    )
+
+
+def test_bottleneck_identification(setup):
+    inst, scheme = setup
+    report = estimate_load(inst, scheme, duration=60.0, service_rate=1e9)
+    units = served_units(inst, scheme)
+    assert report.bottleneck_site == int(np.argmax(units))
+
+
+def test_response_grows_with_utilization(setup):
+    inst, scheme = setup
+    units = served_units(inst, scheme)
+    low = estimate_load(inst, scheme, 60.0, service_rate=units.max())
+    high = estimate_load(inst, scheme, 60.0, service_rate=units.max() / 30)
+    assert high.mean_queueing_delay >= low.mean_queueing_delay
+
+
+def test_replication_cuts_response_time(setup):
+    inst, scheme = setup
+    primary_only = ReplicationScheme.primary_only(inst)
+    rate = served_units(inst, primary_only).max() / 30.0
+    before = estimate_load(inst, primary_only, 60.0, rate)
+    after = estimate_load(inst, scheme, 60.0, rate)
+    if before.feasible and after.feasible:
+        assert after.mean_read_response <= before.mean_read_response
+
+
+def test_per_site_rates_accepted(setup):
+    inst, scheme = setup
+    rates = np.full(inst.num_sites, 1e6)
+    report = estimate_load(inst, scheme, 60.0, rates)
+    assert report.utilization.shape == (inst.num_sites,)
+
+
+def test_validation(setup):
+    inst, scheme = setup
+    with pytest.raises(ValidationError):
+        estimate_load(inst, scheme, 0.0, 1.0)
+    with pytest.raises(ValidationError):
+        estimate_load(inst, scheme, 1.0, 0.0)

@@ -1,0 +1,82 @@
+"""Simulation metrics accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sim.metrics import (
+    MIGRATION,
+    READ_FETCH,
+    SimulationMetrics,
+    WRITE_TO_PRIMARY,
+)
+
+
+def test_transfer_accounting():
+    metrics = SimulationMetrics(num_sites=3, num_objects=2)
+    latency = metrics.record_transfer(READ_FETCH, 1, 0, size=4.0, unit_cost=2.0)
+    assert latency == pytest.approx(8.0)  # base 0 + 8 * unit latency 1
+    assert metrics.total_ntc == pytest.approx(8.0)
+    assert metrics.ntc_by_site[1] == pytest.approx(8.0)
+    assert metrics.ntc_by_object[0] == pytest.approx(8.0)
+    assert metrics.transfers == 1
+
+
+def test_latency_model():
+    metrics = SimulationMetrics(
+        num_sites=2, num_objects=1, base_latency=1.0, unit_latency=0.5
+    )
+    latency = metrics.record_transfer(READ_FETCH, 0, 0, 4.0, 2.0)
+    assert latency == pytest.approx(1.0 + 8.0 * 0.5)
+
+
+def test_migration_excluded_from_request_ntc():
+    metrics = SimulationMetrics(num_sites=2, num_objects=1)
+    metrics.record_transfer(WRITE_TO_PRIMARY, 0, 0, 3.0, 1.0)
+    metrics.record_transfer(MIGRATION, 1, 0, 3.0, 2.0)
+    assert metrics.total_ntc == pytest.approx(9.0)
+    assert metrics.request_ntc == pytest.approx(3.0)
+
+
+def test_unknown_cause_rejected():
+    metrics = SimulationMetrics(num_sites=2, num_objects=1)
+    with pytest.raises(ValidationError):
+        metrics.record_transfer("teleport", 0, 0, 1.0, 1.0)
+
+
+def test_latency_statistics():
+    metrics = SimulationMetrics(num_sites=2, num_objects=1)
+    for value in (1.0, 2.0, 3.0):
+        metrics.record_read_latency(value)
+    metrics.record_write_latency(10.0)
+    assert metrics.mean_read_latency() == pytest.approx(2.0)
+    assert metrics.mean_write_latency() == pytest.approx(10.0)
+    assert metrics.percentile_read_latency(50.0) == pytest.approx(2.0)
+
+
+def test_local_reads_zero_latency():
+    metrics = SimulationMetrics(num_sites=2, num_objects=1)
+    metrics.record_local_read()
+    assert metrics.local_reads == 1
+    assert metrics.mean_read_latency() == pytest.approx(0.0)
+
+
+def test_empty_statistics_safe():
+    metrics = SimulationMetrics(num_sites=2, num_objects=1)
+    assert metrics.mean_read_latency() == 0.0
+    assert metrics.mean_write_latency() == 0.0
+    assert metrics.percentile_read_latency(95) == 0.0
+
+
+def test_summary_keys():
+    metrics = SimulationMetrics(num_sites=2, num_objects=1)
+    metrics.record_transfer(READ_FETCH, 0, 0, 1.0, 1.0)
+    summary = metrics.summary()
+    assert summary["total_ntc"] == pytest.approx(1.0)
+    assert f"ntc[{READ_FETCH}]" in summary
+
+
+def test_validation():
+    with pytest.raises(ValidationError):
+        SimulationMetrics(num_sites=0, num_objects=1)

@@ -1,0 +1,94 @@
+"""Deterministic RNG helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    as_generator,
+    random_round,
+    spawn_generators,
+    spawn_seeds,
+    weighted_choice,
+)
+
+
+def test_as_generator_accepts_int_seed():
+    a = as_generator(7)
+    b = as_generator(7)
+    assert a.random() == b.random()
+
+
+def test_as_generator_passes_generators_through():
+    gen = np.random.default_rng(1)
+    assert as_generator(gen) is gen
+
+
+def test_as_generator_accepts_seed_sequence():
+    seq = np.random.SeedSequence(5)
+    a = as_generator(seq)
+    assert isinstance(a, np.random.Generator)
+
+
+def test_spawn_seeds_deterministic():
+    a = spawn_seeds(42, 3)
+    b = spawn_seeds(42, 3)
+    assert [s.entropy for s in a] == [s.entropy for s in b]
+    assert len(a) == 3
+
+
+def test_spawn_seeds_independent_streams():
+    gens = spawn_generators(42, 2)
+    assert gens[0].random() != gens[1].random()
+
+
+def test_spawn_seeds_negative_count_rejected():
+    with pytest.raises(ValueError):
+        spawn_seeds(1, -1)
+
+
+def test_spawn_from_generator_advances():
+    gen = np.random.default_rng(9)
+    first = spawn_seeds(gen, 1)[0]
+    second = spawn_seeds(gen, 1)[0]
+    assert first.spawn_key != second.spawn_key
+
+
+def test_random_round_exact_integers():
+    rng = np.random.default_rng(0)
+    assert random_round(3.0, rng) == 3
+    assert random_round(0.0, rng) == 0
+
+
+def test_random_round_expectation():
+    rng = np.random.default_rng(1)
+    values = [random_round(2.3, rng) for _ in range(4000)]
+    assert set(values) <= {2, 3}
+    assert abs(np.mean(values) - 2.3) < 0.05
+
+
+def test_weighted_choice_respects_weights():
+    rng = np.random.default_rng(2)
+    weights = np.array([0.0, 1.0, 0.0])
+    assert all(
+        weighted_choice(weights, rng) == 1 for _ in range(20)
+    )
+
+
+def test_weighted_choice_zero_weights_uniform():
+    rng = np.random.default_rng(3)
+    picks = {weighted_choice(np.zeros(4), rng) for _ in range(200)}
+    assert picks == {0, 1, 2, 3}
+
+
+def test_weighted_choice_rejects_negative():
+    rng = np.random.default_rng(4)
+    with pytest.raises(ValueError):
+        weighted_choice(np.array([1.0, -0.5]), rng)
+
+
+def test_weighted_choice_rejects_empty():
+    rng = np.random.default_rng(5)
+    with pytest.raises(ValueError):
+        weighted_choice(np.array([]), rng)

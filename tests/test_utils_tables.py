@@ -1,0 +1,61 @@
+"""ASCII table / series rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import format_series, format_table, sparkline
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "value"], [["a", 1.5], ["bb", 10.25]])
+    lines = out.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert lines[0].endswith("value")
+    assert "10.25" in lines[3]
+
+
+def test_format_table_title():
+    out = format_table(["x"], [[1]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_format_table_none_renders_dash():
+    out = format_table(["x"], [[None]])
+    assert "-" in out.splitlines()[-1]
+
+
+def test_format_table_precision():
+    out = format_table(["x"], [[3.14159]], precision=4)
+    assert "3.1416" in out
+
+
+def test_format_table_row_length_mismatch():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_series_basic():
+    out = format_series(
+        "sites", [10, 20], {"SRA": [1.0, 2.0], "GRA": [3.0, 4.0]}
+    )
+    assert "sites" in out
+    assert "SRA" in out and "GRA" in out
+    assert "4.00" in out
+
+
+def test_format_series_length_mismatch():
+    with pytest.raises(ValueError):
+        format_series("x", [1, 2], {"s": [1.0]})
+
+
+def test_sparkline_monotone():
+    line = sparkline([1, 2, 3, 4])
+    assert len(line) == 4
+    assert line[0] != line[-1]
+
+
+def test_sparkline_flat_and_empty():
+    assert sparkline([]) == ""
+    flat = sparkline([5, 5, 5])
+    assert len(set(flat)) == 1

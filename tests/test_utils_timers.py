@@ -1,0 +1,57 @@
+"""Stopwatch behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.timers import Stopwatch
+
+
+def test_stopwatch_context_manager():
+    sw = Stopwatch()
+    with sw:
+        pass
+    assert sw.elapsed >= 0.0
+    assert len(sw.laps) == 1
+
+
+def test_stopwatch_accumulates():
+    sw = Stopwatch()
+    with sw:
+        pass
+    first = sw.elapsed
+    with sw:
+        pass
+    assert sw.elapsed >= first
+    assert len(sw.laps) == 2
+
+
+def test_stopwatch_double_start_rejected():
+    sw = Stopwatch().start()
+    with pytest.raises(RuntimeError):
+        sw.start()
+    sw.stop()
+
+
+def test_stopwatch_stop_without_start_rejected():
+    with pytest.raises(RuntimeError):
+        Stopwatch().stop()
+
+
+def test_stopwatch_reset():
+    sw = Stopwatch()
+    with sw:
+        pass
+    sw.reset()
+    assert sw.elapsed == 0.0
+    assert sw.laps == []
+    assert not sw.running
+
+
+def test_stopwatch_running_flag():
+    sw = Stopwatch()
+    assert not sw.running
+    sw.start()
+    assert sw.running
+    sw.stop()
+    assert not sw.running

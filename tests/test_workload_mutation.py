@@ -1,0 +1,126 @@
+"""Pattern-change machinery of the fifth experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.workload import WorkloadSpec, apply_pattern_change, generate_instance
+from repro.workload.mutation import detect_changed_objects
+
+
+SPEC = WorkloadSpec(
+    num_sites=20, num_objects=40, update_ratio=0.05, capacity_ratio=0.15
+)
+
+
+@pytest.fixture(scope="module")
+def base():
+    return generate_instance(SPEC, rng=50)
+
+
+def test_read_increase_magnitude(base):
+    drifted, change = apply_pattern_change(base, 6.0, 0.25, 1.0, rng=1)
+    assert len(change.read_increased) == 10  # 25% of 40
+    assert not change.write_increased
+    for k in change.read_increased:
+        before = base.reads[:, k].sum()
+        after = drifted.reads[:, k].sum()
+        assert after == pytest.approx(before * 7.0, rel=0.01)
+    # untouched objects unchanged
+    untouched = set(range(40)) - set(change.changed_objects)
+    for k in untouched:
+        assert np.array_equal(base.reads[:, k], drifted.reads[:, k])
+
+
+def test_write_increase_magnitude(base):
+    drifted, change = apply_pattern_change(base, 6.0, 0.25, 0.0, rng=2)
+    assert len(change.write_increased) == 10
+    for k in change.write_increased:
+        before = base.writes[:, k].sum()
+        after = drifted.writes[:, k].sum()
+        assert after == pytest.approx(before * 7.0, abs=1.0)
+
+
+def test_mixed_change_split(base):
+    drifted, change = apply_pattern_change(base, 6.0, 0.5, 0.8, rng=3)
+    assert len(change.read_increased) == 16  # 80% of 20
+    assert len(change.write_increased) == 4
+    assert len(change.changed_objects) == 20
+
+
+def test_decrease_case(base):
+    drifted, change = apply_pattern_change(base, -0.5, 0.25, 1.0, rng=4)
+    for k in change.read_increased:
+        before = base.reads[:, k].sum()
+        after = drifted.reads[:, k].sum()
+        assert after == pytest.approx(before * 0.5, abs=1.0)
+        assert np.all(drifted.reads[:, k] >= 0)
+
+
+def test_network_and_storage_preserved(base):
+    drifted, _ = apply_pattern_change(base, 6.0, 0.3, 0.5, rng=5)
+    assert np.array_equal(drifted.cost, base.cost)
+    assert np.array_equal(drifted.sizes, base.sizes)
+    assert np.array_equal(drifted.capacities, base.capacities)
+    assert np.array_equal(drifted.primaries, base.primaries)
+
+
+def test_clustered_updates_are_concentrated(base):
+    # With fully clustered assignment, the update mass for a changed
+    # object should concentrate on far fewer sites than uniform scatter.
+    drifted, change = apply_pattern_change(
+        base, 20.0, 0.1, 0.0, rng=6, clustered_update_fraction=1.0
+    )
+    for k in change.write_increased:
+        added = drifted.writes[:, k] - base.writes[:, k]
+        total = float(added.sum())
+        if total < 50:
+            continue
+        top5 = np.sort(added)[-5:].sum()
+        assert top5 / total > 0.5, (
+            f"clustered updates too spread out: {added}"
+        )
+
+
+def test_invalid_shares_rejected(base):
+    with pytest.raises(ValidationError):
+        apply_pattern_change(base, 6.0, 1.5, 0.5)
+    with pytest.raises(ValidationError):
+        apply_pattern_change(base, 6.0, 0.5, -0.1)
+    with pytest.raises(ValidationError):
+        apply_pattern_change(base, 6.0, 0.5, 0.5, clustered_update_fraction=2.0)
+
+
+def test_determinism(base):
+    a, ca = apply_pattern_change(base, 6.0, 0.3, 0.5, rng=7)
+    b, cb = apply_pattern_change(base, 6.0, 0.3, 0.5, rng=7)
+    assert a == b
+    assert ca == cb
+
+
+class TestDetectChangedObjects:
+    def test_detects_exactly_the_drifted_objects(self, base):
+        drifted, change = apply_pattern_change(base, 6.0, 0.3, 0.5, rng=8)
+        detected = detect_changed_objects(base, drifted, threshold=0.5)
+        assert set(detected) == set(change.changed_objects)
+
+    def test_threshold_suppresses_small_changes(self, base):
+        drifted, change = apply_pattern_change(base, 0.1, 0.3, 1.0, rng=9)
+        # 10% growth is below a 50% threshold.
+        assert detect_changed_objects(base, drifted, threshold=0.5) == []
+
+    def test_zero_to_positive_always_fires(self, base):
+        reads = base.reads.copy()
+        writes = base.writes.copy()
+        # find an object with zero writes, give it some
+        zero_write = int(np.argmin(writes.sum(axis=0)))
+        if writes[:, zero_write].sum() == 0:
+            writes[0, zero_write] = 5
+            drifted = base.with_patterns(writes=writes)
+            assert zero_write in detect_changed_objects(base, drifted)
+
+    def test_negative_threshold_rejected(self, base):
+        with pytest.raises(ValidationError):
+            detect_changed_objects(base, base, threshold=-1)

@@ -1,0 +1,65 @@
+"""WorkloadSpec validation and serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.workload import WorkloadSpec
+
+
+def test_defaults_match_paper():
+    spec = WorkloadSpec(num_sites=10, num_objects=20)
+    assert spec.update_ratio == 0.05
+    assert spec.capacity_ratio == 0.15
+    assert (spec.read_low, spec.read_high) == (1, 40)
+    assert spec.size_mean == 35
+    assert (spec.cost_low, spec.cost_high) == (1, 10)
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("num_sites", 0),
+        ("num_objects", 0),
+        ("update_ratio", -0.1),
+        ("capacity_ratio", 0.0),
+        ("read_low", -1),
+        ("size_mean", 0),
+        ("cost_low", 0),
+    ],
+)
+def test_invalid_fields_rejected(field, value):
+    kwargs = {"num_sites": 5, "num_objects": 5, field: value}
+    with pytest.raises(ValidationError):
+        WorkloadSpec(**kwargs)
+
+
+def test_read_bounds_order():
+    with pytest.raises(ValidationError):
+        WorkloadSpec(num_sites=5, num_objects=5, read_low=10, read_high=5)
+
+
+def test_cost_bounds_order():
+    with pytest.raises(ValidationError):
+        WorkloadSpec(num_sites=5, num_objects=5, cost_low=9, cost_high=3)
+
+
+def test_with_overrides_revalidates():
+    spec = WorkloadSpec(num_sites=5, num_objects=5)
+    bigger = spec.with_overrides(num_sites=50)
+    assert bigger.num_sites == 50
+    assert spec.num_sites == 5  # original untouched
+    with pytest.raises(ValidationError):
+        spec.with_overrides(update_ratio=-1)
+
+
+def test_dict_roundtrip():
+    spec = WorkloadSpec(num_sites=7, num_objects=9, update_ratio=0.02)
+    assert WorkloadSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_frozen():
+    spec = WorkloadSpec(num_sites=5, num_objects=5)
+    with pytest.raises(AttributeError):
+        spec.num_sites = 9  # type: ignore[misc]

@@ -1,0 +1,124 @@
+"""Diurnal epoch generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.workload import WorkloadSpec, generate_instance
+from repro.workload.temporal import DiurnalSpec, diurnal_epochs
+
+
+@pytest.fixture(scope="module")
+def base():
+    return generate_instance(
+        WorkloadSpec(num_sites=10, num_objects=20, update_ratio=0.05,
+                     capacity_ratio=0.2),
+        rng=150,
+    )
+
+
+def test_epoch_count_and_compatibility(base):
+    epochs, manifest = diurnal_epochs(base, DiurnalSpec(epochs=5), rng=1)
+    assert len(epochs) == 5
+    for epoch in epochs:
+        assert np.array_equal(epoch.cost, base.cost)
+        assert np.array_equal(epoch.sizes, base.sizes)
+        assert np.array_equal(epoch.capacities, base.capacities)
+        assert np.array_equal(epoch.primaries, base.primaries)
+    assert len(manifest["intensity_factors"]) == 5
+
+
+def test_hot_objects_peak(base):
+    spec = DiurnalSpec(epochs=7, hot_fraction=0.2, hot_multiplier=8.0)
+    epochs, manifest = diurnal_epochs(base, spec, rng=2)
+    hot = manifest["hot_objects"]
+    assert len(hot) == 4  # 20% of 20
+    peak = len(epochs) // 2
+    for k in hot:
+        base_total = base.reads[:, k].sum()
+        peak_total = epochs[peak].reads[:, k].sum()
+        edge_total = epochs[0].reads[:, k].sum()
+        assert peak_total > 3 * base_total
+        assert peak_total > edge_total
+
+
+def test_intensity_curve_shape(base):
+    spec = DiurnalSpec(epochs=9, amplitude=0.5, hot_fraction=0.0,
+                       storm_fraction=0.0)
+    epochs, manifest = diurnal_epochs(base, spec, rng=3)
+    factors = manifest["intensity_factors"]
+    peak = int(np.argmax(factors))
+    assert peak == len(factors) // 2
+    assert max(factors) <= 1.5 + 1e-9
+    assert min(factors) >= 0.5 - 1e-9
+    # total reads follow the curve
+    totals = [e.reads.sum() for e in epochs]
+    assert totals[peak] > totals[0]
+
+
+def test_storm_is_clustered(base):
+    spec = DiurnalSpec(epochs=5, storm_fraction=0.15, storm_multiplier=10.0,
+                       hot_fraction=0.0)
+    epochs, manifest = diurnal_epochs(base, spec, rng=4)
+    storm = manifest["storm_objects"]
+    assert storm
+    peak = len(epochs) // 2
+    for k in storm:
+        added = epochs[peak].writes[:, k] - base.writes[:, k]
+        total = float(added.sum())
+        if total < 30:
+            continue
+        top3 = float(np.sort(added)[-3:].sum())
+        assert top3 / total > 0.4
+
+
+def test_zero_amplitude_no_hot_is_identity_reads(base):
+    spec = DiurnalSpec(epochs=3, amplitude=0.0, hot_fraction=0.0,
+                       storm_fraction=0.0)
+    epochs, _ = diurnal_epochs(base, spec, rng=5)
+    for epoch in epochs:
+        assert np.array_equal(epoch.reads, base.reads)
+        assert np.array_equal(epoch.writes, base.writes)
+
+
+def test_deterministic(base):
+    a, ma = diurnal_epochs(base, DiurnalSpec(epochs=4), rng=6)
+    b, mb = diurnal_epochs(base, DiurnalSpec(epochs=4), rng=6)
+    assert a == b
+    assert ma == mb
+
+
+def test_spec_validation():
+    with pytest.raises(ValidationError):
+        DiurnalSpec(epochs=0)
+    with pytest.raises(ValidationError):
+        DiurnalSpec(amplitude=1.0)
+    with pytest.raises(ValidationError):
+        DiurnalSpec(hot_fraction=1.5)
+    with pytest.raises(ValidationError):
+        DiurnalSpec(hot_multiplier=0.5)
+
+
+def test_feeds_adaptive_loop(base):
+    from repro.algorithms import AGRAParams, GAParams, GRA
+    from repro.sim import AdaptiveReplicationLoop
+
+    gra = GRA(GAParams(population_size=8, generations=5), rng=7)
+    result, population = gra.run_with_population(base)
+    epochs, _ = diurnal_epochs(
+        base, DiurnalSpec(epochs=4, hot_multiplier=8.0), rng=8
+    )
+    loop = AdaptiveReplicationLoop(
+        base,
+        result.scheme,
+        mini_gra_generations=2,
+        agra_params=AGRAParams(population_size=6, generations=6),
+        gra_params=GAParams(population_size=8, generations=5),
+        seed_matrices=[m.matrix for m in population.members],
+        rng=9,
+    )
+    report = loop.run(epochs)
+    assert len(report.epochs) == 4
+    assert report.final_scheme.is_valid()

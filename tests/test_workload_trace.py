@@ -1,0 +1,76 @@
+"""Trace expansion: counts round-trip exactly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.workload import (
+    Request,
+    WorkloadSpec,
+    generate_instance,
+    generate_trace,
+)
+from repro.workload.trace import READ, WRITE, trace_counts
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance(
+        WorkloadSpec(num_sites=6, num_objects=8, update_ratio=0.1,
+                     capacity_ratio=0.2),
+        rng=60,
+    )
+
+
+def test_trace_counts_roundtrip(instance):
+    trace = generate_trace(instance, rng=1)
+    reads, writes = trace_counts(instance, trace)
+    assert np.array_equal(reads, np.rint(instance.reads).astype(np.int64))
+    assert np.array_equal(writes, np.rint(instance.writes).astype(np.int64))
+
+
+def test_trace_sorted_by_time(instance):
+    trace = generate_trace(instance, rng=2)
+    times = [r.time for r in trace]
+    assert times == sorted(times)
+
+
+def test_trace_times_within_duration(instance):
+    trace = generate_trace(instance, duration=5.0, rng=3)
+    assert all(0.0 <= r.time < 5.0 for r in trace)
+
+
+def test_trace_deterministic(instance):
+    assert generate_trace(instance, rng=4) == generate_trace(instance, rng=4)
+
+
+def test_trace_length(instance):
+    trace = generate_trace(instance, rng=5)
+    expected = int(instance.reads.sum() + instance.writes.sum())
+    assert len(trace) == expected
+
+
+def test_invalid_duration(instance):
+    with pytest.raises(ValidationError):
+        generate_trace(instance, duration=0.0)
+
+
+class TestRequest:
+    def test_valid(self):
+        req = Request(1.0, 0, 3, READ)
+        assert req.kind == READ
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValidationError):
+            Request(1.0, 0, 3, "update")
+
+    def test_negative_time(self):
+        with pytest.raises(ValidationError):
+            Request(-1.0, 0, 3, WRITE)
+
+    def test_ordering_by_time(self):
+        early = Request(0.5, 1, 1, READ)
+        late = Request(1.5, 0, 0, READ)
+        assert early < late

@@ -1,0 +1,55 @@
+"""Zipf popularity extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.workload import zipf_read_matrix, zipf_weights
+
+
+def test_weights_normalised_and_decreasing():
+    w = zipf_weights(10, exponent=1.0)
+    assert w.shape == (10,)
+    assert w.sum() == pytest.approx(1.0)
+    assert np.all(np.diff(w) < 0)
+
+
+def test_zero_exponent_is_uniform():
+    w = zipf_weights(5, exponent=0.0)
+    assert np.allclose(w, 0.2)
+
+
+def test_weights_validation():
+    with pytest.raises(ValidationError):
+        zipf_weights(0)
+    with pytest.raises(ValidationError):
+        zipf_weights(5, exponent=-1)
+
+
+def test_read_matrix_totals():
+    reads = zipf_read_matrix(8, 20, total_reads=5000, rng=1)
+    assert reads.shape == (8, 20)
+    assert reads.sum() == 5000
+    assert np.all(reads >= 0)
+
+
+def test_read_matrix_skew():
+    reads = zipf_read_matrix(4, 50, total_reads=100_000, exponent=1.2, rng=2)
+    per_object = np.sort(reads.sum(axis=0))[::-1]
+    # the most popular object dwarfs the median one
+    assert per_object[0] > 5 * per_object[25]
+
+
+def test_read_matrix_validation():
+    with pytest.raises(ValidationError):
+        zipf_read_matrix(0, 5, 10)
+    with pytest.raises(ValidationError):
+        zipf_read_matrix(5, 5, -1)
+
+
+def test_determinism():
+    a = zipf_read_matrix(5, 10, 1000, rng=3)
+    b = zipf_read_matrix(5, 10, 1000, rng=3)
+    assert np.array_equal(a, b)
