@@ -1,0 +1,94 @@
+"""Parallel harness fan-out versus the serial loop.
+
+One Figure-1-style data point — 15 independently generated networks,
+SRA and GRA on each (the paper's averaging protocol) — run once through
+the serial harness and once through a 4-worker
+:class:`~repro.experiments.parallel.ParallelRunner`.
+
+Two claims are checked:
+
+* **determinism** — the parallel results are bit-identical to the serial
+  ones for every label and every derived quantity (always asserted,
+  whatever the core count);
+* **speedup** — with at least 4 physical cores the fan-out must cut
+  wall-clock by >= 2x (skipped on smaller machines, where a process
+  pool cannot beat the serial loop).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.algorithms.gra.params import GAParams
+from repro.experiments.harness import average_static_runs
+from repro.experiments.parallel import (
+    GRAFactory,
+    ParallelRunner,
+    SRAFactory,
+)
+from repro.workload import WorkloadSpec
+
+SEED = 9_400
+INSTANCES = 15  # the paper's per-point averaging count
+
+SPEC = WorkloadSpec(
+    num_sites=20,
+    num_objects=40,
+    update_ratio=0.05,
+    capacity_ratio=0.15,
+)
+
+FACTORIES = {
+    "SRA": SRAFactory(),
+    "GRA": GRAFactory(GAParams(population_size=20, generations=12)),
+}
+
+
+def _fields(averages):
+    return {
+        label: (
+            avg.savings_percent,
+            avg.total_cost,
+            avg.extra_replicas,
+            avg.runs,
+        )
+        for label, avg in averages.items()
+    }
+
+
+def test_parallel_point_matches_serial_and_speeds_up(benchmark):
+    start = time.perf_counter()
+    serial = average_static_runs(
+        SPEC, FACTORIES, instances=INSTANCES, seed=SEED, max_workers=1
+    )
+    serial_seconds = time.perf_counter() - start
+
+    runner = ParallelRunner(max_workers=4)
+    start = time.perf_counter()
+    parallel = benchmark.pedantic(
+        lambda: runner.average_static_runs(
+            SPEC, FACTORIES, instances=INSTANCES, seed=SEED
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    parallel_seconds = time.perf_counter() - start
+
+    assert _fields(parallel) == _fields(serial)  # bit-identical, always
+
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    print(
+        f"\nserial {serial_seconds:.2f}s, 4-worker {parallel_seconds:.2f}s"
+        f" -> {speedup:.2f}x on {os.cpu_count()} cores"
+    )
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup on {os.cpu_count()} cores, "
+            f"got {speedup:.2f}x"
+        )
+    else:
+        print(
+            f"(speedup assertion needs >= 4 cores, have {os.cpu_count()};"
+            " determinism was still verified)"
+        )

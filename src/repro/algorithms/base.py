@@ -31,6 +31,11 @@ class AlgorithmResult:
         Human-readable algorithm name.
     stats:
         Algorithm-specific diagnostics (iterations, generations, ...).
+    extras:
+        Harness-level instrumentation: cost-model cache hit/miss counters
+        (``cache_info``), the ``_solve`` wall-clock (``solve_seconds``)
+        and, when a metrics registry is attached to the model, a full
+        counter/timer snapshot (``metrics``).
     """
 
     scheme: ReplicationScheme
@@ -39,19 +44,24 @@ class AlgorithmResult:
     runtime_seconds: float
     algorithm: str
     stats: Dict[str, object] = field(default_factory=dict)
+    extras: Dict[str, object] = field(default_factory=dict)
 
     @property
     def savings_percent(self) -> float:
-        """The paper's quality metric: % NTC saved vs primary-only."""
+        """The paper's quality metric: % NTC saved vs primary-only.
+
+        ``-inf`` on degenerate instances where ``D_prime == 0`` but the
+        scheme's cost is positive (negative savings must not read as 0).
+        """
         if self.d_prime == 0.0:
-            return 0.0
+            return 0.0 if self.total_cost == 0.0 else float("-inf")
         return 100.0 * (self.d_prime - self.total_cost) / self.d_prime
 
     @property
     def fitness(self) -> float:
         """Normalised fitness ``f = (D_prime - D) / D_prime``."""
         if self.d_prime == 0.0:
-            return 0.0
+            return 0.0 if self.total_cost == 0.0 else float("-inf")
         return (self.d_prime - self.total_cost) / self.d_prime
 
     @property
@@ -102,6 +112,14 @@ class ReplicationAlgorithm(abc.ABC):
         with watch:
             scheme, stats = self._solve(instance, model)
         scheme.validate()
+        extras: Dict[str, object] = {
+            "solve_seconds": watch.elapsed,
+            "cache_info": model.cache_info(),
+        }
+        metrics = model.metrics
+        if metrics is not None:
+            metrics.observe(f"solve.{self.name}", watch.elapsed)
+            extras["metrics"] = metrics.snapshot()
         return AlgorithmResult(
             scheme=scheme,
             total_cost=model.total_cost(scheme),
@@ -109,6 +127,7 @@ class ReplicationAlgorithm(abc.ABC):
             runtime_seconds=watch.elapsed,
             algorithm=self.name,
             stats=stats,
+            extras=extras,
         )
 
 

@@ -234,6 +234,8 @@ class GRA(ReplicationAlgorithm):
             population = self.build_initial_population(instance, model)
             stats = self.evolve(population, self.params.generations)
             scheme = population.best_scheme()
+        if model.metrics is not None:
+            model.metrics.observe(f"solve.{self.name}", watch.elapsed)
         result = AlgorithmResult(
             scheme=scheme,
             total_cost=model.total_cost(scheme),
@@ -241,6 +243,10 @@ class GRA(ReplicationAlgorithm):
             runtime_seconds=watch.elapsed,
             algorithm=self.name,
             stats=stats,
+            extras={
+                "solve_seconds": watch.elapsed,
+                "cache_info": model.cache_info(),
+            },
         )
         return result, population
 

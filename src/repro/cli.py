@@ -101,6 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--generations", type=int, default=0,
                        help="override GRA generations")
     solve.add_argument("--save-scheme", default=None)
+    solve.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print cost-kernel cache counters and per-phase timers",
+    )
 
     evaluate = sub.add_parser("evaluate", help="evaluate a saved scheme")
     evaluate.add_argument("scheme")
@@ -133,6 +138,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(ALGORITHMS),
         help="repeatable; default: sra and gra",
     )
+    compare.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print cost-kernel cache counters and per-phase timers",
+    )
 
     figures = sub.add_parser(
         "figures", help="reproduce the paper's figures (see repro-experiments)"
@@ -159,8 +169,11 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.utils.metrics import MetricsRegistry
+
     instance = load_instance(args.instance)
-    model = CostModel(instance)
+    registry = MetricsRegistry() if args.metrics else None
+    model = CostModel(instance, metrics=registry)
     if args.algorithm == "optimal":
         result = solve_optimal(instance, model)
     else:
@@ -168,6 +181,14 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         result = algorithm.run(instance, model)
     print(result.summary())
     print(f"D' = {result.d_prime:,.2f}   D = {result.total_cost:,.2f}")
+    if registry is not None:
+        info = model.cache_info()
+        print(
+            f"cache: {info['hits']:,} hits / {info['misses']:,} misses "
+            f"(hit rate {info['hit_rate']:.1%}, "
+            f"{info['evictions']:,} evictions)"
+        )
+        print(registry.render())
     if args.save_scheme:
         path = save_scheme(result.scheme, args.save_scheme)
         print(f"scheme saved to {path}")
@@ -207,6 +228,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.utils.metrics import disable_global_metrics, enable_global_metrics, global_metrics
+
     labels = args.algorithm or ["sra", "gra"]
     spec = WorkloadSpec(
         num_sites=args.sites,
@@ -219,10 +242,19 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         label: (lambda seed, _label=label: ALGORITHMS[_label](seed, 0))
         for label in labels
     }
-    report = compare_algorithms(instances, factories, seed=args.seed + 1)
-    print(report.render())
-    print(f"\nbest by mean savings: {report.best_algorithm()}")
-    return 0
+    had_metrics = global_metrics() is not None
+    registry = enable_global_metrics() if args.metrics else None
+    try:
+        report = compare_algorithms(instances, factories, seed=args.seed + 1)
+        print(report.render())
+        print(f"\nbest by mean savings: {report.best_algorithm()}")
+        if registry is not None:
+            print()
+            print(registry.render())
+        return 0
+    finally:
+        if registry is not None and not had_metrics:
+            disable_global_metrics()
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:

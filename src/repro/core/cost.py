@@ -24,6 +24,7 @@ ship 10% of the object per write.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
@@ -31,6 +32,7 @@ import numpy as np
 from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
 from repro.errors import ValidationError
+from repro.utils.metrics import MetricsRegistry
 from repro.utils.validation import check_fraction
 
 SchemeLike = Union[ReplicationScheme, np.ndarray]
@@ -53,8 +55,16 @@ class CostModel:
         Fraction of an object shipped per write transfer (default 1.0, the
         paper's policy).
     cache_size:
-        Maximum number of memoised per-object costs (the cache is cleared
-        wholesale when full; 0 disables caching).
+        Maximum number of memoised per-object costs.  The cache is a true
+        LRU: when full, the single least-recently-used entry is evicted,
+        so a working set one entry over capacity degrades gracefully
+        instead of thrashing to a 0% hit rate.  0 disables caching.
+    metrics:
+        Optional :class:`~repro.utils.metrics.MetricsRegistry`; when given,
+        per-call timers (``cost.object_cost``, ``cost.batch``) and cache
+        hit/miss/eviction counters are recorded into it.  Hit/miss/eviction
+        totals are tracked on the model itself either way and reported by
+        :meth:`cache_info`.
     """
 
     def __init__(
@@ -62,6 +72,7 @@ class CostModel:
         instance: DRPInstance,
         update_fraction: float = 1.0,
         cache_size: int = 200_000,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if cache_size < 0:
             raise ValidationError(
@@ -80,8 +91,12 @@ class CostModel:
         self._total_write_weight = self._write_weight.sum(axis=0)
         # C(i, SP_k) for every (i, k), shape (M, N).
         self._cost_to_primary = instance.cost[:, instance.primaries]
-        self._cache: Dict[Tuple[int, bytes], float] = {}
+        self._cache: "OrderedDict[Tuple[int, bytes], float]" = OrderedDict()
         self._cache_size = cache_size
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._metrics = metrics
         self._d_prime_per_object: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
@@ -95,6 +110,11 @@ class CostModel:
     def update_fraction(self) -> float:
         return self._uf
 
+    @property
+    def metrics(self) -> Optional[MetricsRegistry]:
+        """The registry this model records into, if any."""
+        return self._metrics
+
     # ------------------------------------------------------------------ #
     # per-object costs
     # ------------------------------------------------------------------ #
@@ -106,6 +126,12 @@ class CostModel:
         primary must be a replicator; this is *not* re-checked here for
         speed — schemes enforce it structurally.
         """
+        if self._metrics is not None:
+            with self._metrics.timer("cost.object_cost"):
+                return self._object_cost(obj, column)
+        return self._object_cost(obj, column)
+
+    def _object_cost(self, obj: int, column: np.ndarray) -> float:
         mask = np.asarray(column, dtype=bool)
         reps = np.nonzero(mask)[0]
         cost = self._instance.cost
@@ -125,18 +151,41 @@ class CostModel:
         return read_term + nonrep_writes + rep_writes
 
     def object_cost_cached(self, obj: int, column: np.ndarray) -> float:
-        """Memoised :meth:`object_cost` (keyed by the packed column bits)."""
+        """Memoised :meth:`object_cost` (keyed by the packed column bits).
+
+        The memo table is LRU: a hit refreshes the entry's recency, and an
+        insert into a full cache evicts only the least-recently-used entry.
+        """
         if self._cache_size == 0:
             return self.object_cost(obj, column)
         key = (obj, np.packbits(np.asarray(column, dtype=bool)).tobytes())
         hit = self._cache.get(key)
         if hit is not None:
+            self._cache.move_to_end(key)
+            self._record_hit()
             return hit
+        self._record_miss()
         value = self.object_cost(obj, column)
-        if len(self._cache) >= self._cache_size:
-            self._cache.clear()
-        self._cache[key] = value
+        self._cache_insert(key, value)
         return value
+
+    def _record_hit(self) -> None:
+        self._hits += 1
+        if self._metrics is not None:
+            self._metrics.increment("cost.cache_hits")
+
+    def _record_miss(self) -> None:
+        self._misses += 1
+        if self._metrics is not None:
+            self._metrics.increment("cost.cache_misses")
+
+    def _cache_insert(self, key: Tuple[int, bytes], value: float) -> None:
+        if len(self._cache) >= self._cache_size:
+            self._cache.popitem(last=False)
+            self._evictions += 1
+            if self._metrics is not None:
+                self._metrics.increment("cost.cache_evictions")
+        self._cache[key] = value
 
     def object_costs_batch(
         self, obj: int, columns: np.ndarray, chunk: int = 64
@@ -157,7 +206,19 @@ class CostModel:
                 "columns must have shape (P, "
                 f"{self._instance.num_sites}), got {columns.shape}"
             )
+        if self._metrics is not None:
+            with self._metrics.timer("cost.batch"):
+                return self._object_costs_batch(obj, columns, chunk)
+        return self._object_costs_batch(obj, columns, chunk)
+
+    def _object_costs_batch(
+        self, obj: int, columns: np.ndarray, chunk: int
+    ) -> np.ndarray:
         unique, inverse = np.unique(columns, axis=0, return_inverse=True)
+        # NumPy 2.1 returns the inverse with an extra axis under ``axis=``
+        # (reverted again in 2.2); flatten so indexing below always yields
+        # a (P,) result on every supported NumPy.
+        inverse = np.asarray(inverse).reshape(-1)
         unique_costs = np.empty(unique.shape[0])
         misses: list = []
         keys: list = []
@@ -167,7 +228,11 @@ class CostModel:
             if hit is None:
                 misses.append(idx)
                 keys.append(key)
+                if self._cache_size:
+                    self._record_miss()
             else:
+                self._cache.move_to_end(key)
+                self._record_hit()
                 unique_costs[idx] = hit
         cost = self._instance.cost
         to_primary = self._cost_to_primary[:, obj]
@@ -187,9 +252,9 @@ class CostModel:
             for offset, idx in enumerate(block):
                 unique_costs[idx] = values[offset]
                 if self._cache_size:
-                    if len(self._cache) >= self._cache_size:
-                        self._cache.clear()
-                    self._cache[keys[start + offset]] = float(values[offset])
+                    self._cache_insert(
+                        keys[start + offset], float(values[offset])
+                    )
         return unique_costs[inverse]
 
     def population_costs(self, matrices) -> np.ndarray:
@@ -249,18 +314,30 @@ class CostModel:
         return float(self._d_prime_per_object.sum())
 
     def savings_percent(self, scheme: SchemeLike) -> float:
-        """The paper's quality metric: % of ``D_prime`` saved by ``scheme``."""
+        """The paper's quality metric: % of ``D_prime`` saved by ``scheme``.
+
+        On degenerate instances where ``D_prime == 0`` the percentage is
+        undefined; a scheme that still incurs positive cost reports
+        ``-inf`` (strictly worse than primary-only) rather than masking
+        the regression as ``0.0``.
+        """
         d_prime = self.d_prime()
+        cost = self.total_cost(scheme)
         if d_prime == 0.0:
-            return 0.0
-        return 100.0 * (d_prime - self.total_cost(scheme)) / d_prime
+            return 0.0 if cost == 0.0 else float("-inf")
+        return 100.0 * (d_prime - cost) / d_prime
 
     def fitness(self, scheme: SchemeLike) -> float:
-        """Normalised GA fitness ``f = (D_prime - D) / D_prime`` (can be < 0)."""
+        """Normalised GA fitness ``f = (D_prime - D) / D_prime`` (can be < 0).
+
+        ``-inf`` when ``D_prime == 0`` but the scheme's cost is positive
+        (see :meth:`savings_percent`).
+        """
         d_prime = self.d_prime()
+        cost = self.total_cost(scheme)
         if d_prime == 0.0:
-            return 0.0
-        return (d_prime - self.total_cost(scheme)) / d_prime
+            return 0.0 if cost == 0.0 else float("-inf")
+        return (d_prime - cost) / d_prime
 
     # ------------------------------------------------------------------ #
     # incremental deltas
@@ -331,11 +408,20 @@ class CostModel:
             out[:, k] = self._write_weight[:, k] * per_writer
         return out
 
-    def cache_info(self) -> Dict[str, int]:
-        """Diagnostics: current cache population and capacity."""
-        return {"entries": len(self._cache), "capacity": self._cache_size}
+    def cache_info(self) -> Dict[str, float]:
+        """Diagnostics: cache population, capacity and hit/miss totals."""
+        lookups = self._hits + self._misses
+        return {
+            "entries": len(self._cache),
+            "capacity": self._cache_size,
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "hit_rate": (self._hits / lookups) if lookups else 0.0,
+        }
 
     def clear_cache(self) -> None:
+        """Drop every memoised cost (hit/miss totals are kept)."""
         self._cache.clear()
 
 

@@ -24,8 +24,18 @@ from repro.experiments.harness import (
     InstanceAverages,
     average_static_runs,
 )
+from repro.experiments.parallel import (
+    GRAFactory,
+    ParallelRunner,
+    SRAFactory,
+    parallel_average_static_runs,
+)
 
 __all__ = [
+    "ParallelRunner",
+    "SRAFactory",
+    "GRAFactory",
+    "parallel_average_static_runs",
     "ScaleProfile",
     "QUICK_PROFILE",
     "MID_PROFILE",

@@ -27,6 +27,7 @@ from repro.core.cost import CostModel
 from repro.errors import ValidationError
 from repro.experiments.config import ScaleProfile, get_profile
 from repro.experiments.harness import InstanceAverages, average_static_runs
+from repro.experiments.parallel import GRAFactory, SRAFactory
 from repro.utils.rng import spawn_seeds
 from repro.utils.tables import format_series
 from repro.workload.generator import generate_instance
@@ -83,10 +84,14 @@ def clear_cache() -> None:
 
 
 def _static_factories(profile: ScaleProfile):
-    """SRA + GRA factories used by every static sweep."""
+    """SRA + GRA factories used by every static sweep.
+
+    Instances of picklable factory classes (not lambdas) so the sweeps
+    can fan out over worker processes under ``--parallel``.
+    """
     return {
-        "SRA": lambda seed: SRA(),
-        "GRA": lambda seed: GRA(params=profile.gra, rng=seed),
+        "SRA": SRAFactory(),
+        "GRA": GRAFactory(profile.gra),
     }
 
 

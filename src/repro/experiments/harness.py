@@ -4,12 +4,19 @@ For each data point the paper generates 15 networks and records the
 average NTC savings, execution time and replica count.  The helpers here
 do the same over any number of instances, with seeds derived
 deterministically from one master seed so every figure is reproducible.
+
+Runs fan out over worker processes when ``max_workers > 1`` (or when a
+process-wide default is installed via
+:func:`repro.experiments.parallel.configure` / ``$REPRO_PARALLEL``);
+results are bit-identical to the serial loop because every task derives
+the same :class:`numpy.random.SeedSequence` children — see
+:mod:`repro.experiments.parallel`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -17,6 +24,7 @@ from repro.algorithms.base import AlgorithmResult, ReplicationAlgorithm
 from repro.core.cost import CostModel
 from repro.core.problem import DRPInstance
 from repro.errors import ValidationError
+from repro.utils.metrics import MetricsRegistry, global_metrics
 from repro.utils.rng import SeedLike, spawn_seeds
 from repro.workload.generator import generate_instance
 from repro.workload.spec import WorkloadSpec
@@ -59,15 +67,32 @@ def average_static_runs(
     factories: Dict[str, AlgorithmFactory],
     instances: int,
     seed: SeedLike = None,
+    max_workers: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Dict[str, InstanceAverages]:
     """Run each algorithm on ``instances`` fresh networks; average metrics.
 
     Every algorithm sees the *same* sequence of instances (generated from
     per-instance child seeds), and gets its own independent RNG child per
     run, so comparisons are paired and reproducible.
+
+    ``max_workers`` > 1 fans the (instance x algorithm) grid over worker
+    processes via :class:`~repro.experiments.parallel.ParallelRunner`;
+    ``None`` consults the process-wide default (serial unless configured).
+    Results are bit-identical either way.  ``metrics``, when given (or
+    when a global registry is enabled), receives cache counters and
+    timers from every run, merged across workers.
     """
+    from repro.experiments.parallel import ParallelRunner, resolve_max_workers
+
     if instances < 1:
         raise ValidationError(f"instances must be >= 1, got {instances}")
+    workers = resolve_max_workers(max_workers)
+    if workers > 1:
+        return ParallelRunner(max_workers=workers).average_static_runs(
+            spec, factories, instances, seed=seed, metrics=metrics
+        )
+    metrics = metrics if metrics is not None else global_metrics()
     results: Dict[str, List[AlgorithmResult]] = {
         label: [] for label in factories
     }
@@ -75,12 +100,15 @@ def average_static_runs(
     for inst_seed in instance_seeds:
         children = inst_seed.spawn(len(factories) + 1)
         instance = generate_instance(spec, rng=children[0])
-        model = CostModel(instance)
+        model = CostModel(instance, metrics=metrics)
         for (label, factory), algo_seed in zip(
             factories.items(), children[1:]
         ):
             algorithm = factory(algo_seed)
             results[label].append(algorithm.run(instance, model))
+    if metrics is not None:
+        metrics.increment("harness.instances", instances)
+        metrics.increment("harness.tasks", instances * len(factories))
     return {
         label: InstanceAverages.from_results(runs)
         for label, runs in results.items()

@@ -1,0 +1,334 @@
+"""Process-pool fan-out of the experiment harness.
+
+The paper averages every data point over 15 independently generated
+networks; serially that makes Figures 1-4 wall-clock bound by a single
+core.  :class:`ParallelRunner` fans the ``(instance_seed x
+algorithm_factory)`` grid of :func:`~repro.experiments.harness.
+average_static_runs` out over a :class:`concurrent.futures.
+ProcessPoolExecutor` while keeping the results **bit-identical** to the
+serial harness:
+
+* the per-instance :class:`numpy.random.SeedSequence` children are
+  derived exactly as the serial loop derives them (each task re-spawns
+  ``instances + algorithms`` children from its own pickled copy of the
+  instance seed, whose spawn counter is still zero), so instance
+  generation and every stochastic algorithm see the same streams
+  regardless of worker count or scheduling order;
+* cost evaluation is an exact deterministic function of the instance, so
+  sharing (serial) versus not sharing (parallel) a
+  :class:`~repro.core.cost.CostModel` cache cannot change any number.
+
+Robustness: each task gets a soft per-task timeout, and any task whose
+worker crashes (``BrokenProcessPool``), times out, or cannot be shipped
+to a worker in the first place (unpicklable factory, e.g. a lambda) is
+retried **once, in-process** — the retry computes the same seeds, so the
+fall-back changes wall-clock only, never results.
+
+A process-wide default worker count can be installed with
+:func:`configure` (the CLI ``--parallel N`` flag does this) or the
+``REPRO_PARALLEL`` environment variable; ``average_static_runs`` picks
+it up when no explicit ``max_workers`` is passed, so every figure sweep
+inherits the fan-out without touching figure code.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import AlgorithmResult
+from repro.algorithms.gra.engine import GRA
+from repro.algorithms.gra.params import GAParams
+from repro.algorithms.sra import SRA
+from repro.core.cost import CostModel
+from repro.errors import ValidationError
+from repro.utils.metrics import MetricsRegistry, Snapshot, global_metrics
+from repro.utils.rng import SeedLike, spawn_seeds
+from repro.workload.generator import generate_instance
+from repro.workload.spec import WorkloadSpec
+
+#: environment variable supplying the default worker count
+PARALLEL_ENV_VAR = "REPRO_PARALLEL"
+
+_configured_workers: Optional[int] = None
+
+
+def configure(max_workers: Optional[int]) -> None:
+    """Install a process-wide default worker count (``None`` resets).
+
+    ``average_static_runs`` and the figure sweeps consult this default
+    whenever no explicit ``max_workers`` is passed; the CLI ``--parallel
+    N`` flag calls this once at startup.
+    """
+    global _configured_workers
+    if max_workers is not None and max_workers < 1:
+        raise ValidationError(
+            f"max_workers must be >= 1, got {max_workers}"
+        )
+    _configured_workers = max_workers
+
+
+def resolve_max_workers(max_workers: Optional[int] = None) -> int:
+    """Effective worker count: explicit > :func:`configure` > env > 1."""
+    if max_workers is not None:
+        if max_workers < 1:
+            raise ValidationError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        return max_workers
+    if _configured_workers is not None:
+        return _configured_workers
+    env = os.environ.get(PARALLEL_ENV_VAR, "").strip()
+    if env:
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ValidationError(
+                f"${PARALLEL_ENV_VAR} must be an integer, got {env!r}"
+            ) from None
+        if workers < 1:
+            raise ValidationError(
+                f"${PARALLEL_ENV_VAR} must be >= 1, got {workers}"
+            )
+        return workers
+    return 1
+
+
+# --------------------------------------------------------------------- #
+# picklable algorithm factories (lambdas cannot cross process borders)
+# --------------------------------------------------------------------- #
+class SRAFactory:
+    """Picklable ``AlgorithmFactory`` building a fresh :class:`SRA`."""
+
+    def __call__(self, seed: np.random.SeedSequence) -> SRA:
+        return SRA()
+
+
+class GRAFactory:
+    """Picklable ``AlgorithmFactory`` building a fresh :class:`GRA`."""
+
+    def __init__(self, params: Optional[GAParams] = None) -> None:
+        self.params = params or GAParams()
+
+    def __call__(self, seed: np.random.SeedSequence) -> GRA:
+        return GRA(params=self.params, rng=seed)
+
+
+# --------------------------------------------------------------------- #
+# the unit of fan-out
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _Task:
+    """One (instance seed x algorithm) cell of the harness grid."""
+
+    spec: WorkloadSpec
+    label: str
+    factory: object
+    factory_index: int
+    num_factories: int
+    instance_index: int
+    instance_seed: np.random.SeedSequence
+    collect_metrics: bool
+
+
+def _run_task(task: _Task) -> Tuple[int, str, AlgorithmResult, Optional[Snapshot]]:
+    """Execute one grid cell; top-level so worker processes can import it.
+
+    Spawns the same ``num_factories + 1`` children the serial harness
+    spawns from this instance seed: child 0 generates the network, child
+    ``1 + factory_index`` drives the algorithm.  Identical seeds in every
+    execution mode is what makes serial and parallel runs bit-identical.
+
+    The seed is re-derived from its entropy/spawn-key state rather than
+    spawned directly: several tasks share one instance seed, and
+    ``SeedSequence.spawn`` mutates its spawn counter — re-deriving resets
+    the counter to zero so every task sees the same children whether it
+    runs in a worker (fresh pickled copy) or in-process (shared object).
+    """
+    seq = task.instance_seed
+    seq = np.random.SeedSequence(
+        entropy=seq.entropy,
+        spawn_key=seq.spawn_key,
+        pool_size=seq.pool_size,
+    )
+    children = seq.spawn(task.num_factories + 1)
+    instance = generate_instance(task.spec, rng=children[0])
+    registry = MetricsRegistry() if task.collect_metrics else None
+    model = CostModel(instance, metrics=registry)
+    algorithm = task.factory(children[1 + task.factory_index])
+    result = algorithm.run(instance, model)
+    snapshot = registry.snapshot() if registry is not None else None
+    return task.instance_index, task.label, result, snapshot
+
+
+class ParallelRunner:
+    """Fans harness grids over worker processes; falls back to serial.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes; ``None`` resolves via :func:`resolve_max_workers`
+        (explicit > :func:`configure` > ``$REPRO_PARALLEL`` > serial).
+        ``1`` runs everything in-process with no executor at all, so CI
+        and small runs behave exactly as before.
+    task_timeout:
+        Soft per-task seconds to wait for a worker's result before the
+        task is re-run in-process (``None`` waits forever).
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+    ) -> None:
+        self.max_workers = resolve_max_workers(max_workers)
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValidationError(
+                f"task_timeout must be > 0, got {task_timeout}"
+            )
+        self.task_timeout = task_timeout
+
+    @property
+    def serial(self) -> bool:
+        return self.max_workers <= 1
+
+    # ------------------------------------------------------------------ #
+    def average_static_runs(
+        self,
+        spec: WorkloadSpec,
+        factories: Dict[str, object],
+        instances: int,
+        seed: SeedLike = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        """Parallel drop-in for :func:`~repro.experiments.harness.average_static_runs`.
+
+        Same paired-instance design and the same seed derivation; returns
+        the same ``{label: InstanceAverages}`` mapping, bit-identical to
+        the serial harness for any worker count (runtimes excepted — they
+        are wall-clock measurements, not derived quantities).
+        """
+        from repro.experiments.harness import InstanceAverages
+
+        if instances < 1:
+            raise ValidationError(
+                f"instances must be >= 1, got {instances}"
+            )
+        if not factories:
+            raise ValidationError("need at least one algorithm factory")
+        metrics = metrics if metrics is not None else global_metrics()
+        labels = list(factories)
+        instance_seeds = spawn_seeds(seed, instances)
+        tasks = [
+            _Task(
+                spec=spec,
+                label=label,
+                factory=factories[label],
+                factory_index=j,
+                num_factories=len(labels),
+                instance_index=i,
+                instance_seed=inst_seed,
+                collect_metrics=metrics is not None,
+            )
+            for i, inst_seed in enumerate(instance_seeds)
+            for j, label in enumerate(labels)
+        ]
+        outcomes = self._run_tasks(tasks)
+        results: Dict[str, List[AlgorithmResult]] = {
+            label: [] for label in labels
+        }
+        for _index, label, result, snapshot in outcomes:
+            results[label].append(result)
+            if metrics is not None and snapshot is not None:
+                metrics.merge_snapshot(snapshot)
+        if metrics is not None:
+            metrics.increment("harness.instances", instances)
+            metrics.increment("harness.tasks", len(tasks))
+        return {
+            label: InstanceAverages.from_results(runs)
+            for label, runs in results.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    def _run_tasks(self, tasks: List[_Task]) -> List[Tuple]:
+        """Run every task, preserving order; retry failures in-process."""
+        if self.serial or len(tasks) <= 1:
+            return [_run_task(task) for task in tasks]
+        if not self._picklable(tasks):
+            warnings.warn(
+                "algorithm factories are not picklable (lambdas?); "
+                "running serially — use module-level factories such as "
+                "repro.experiments.parallel.SRAFactory/GRAFactory to "
+                "enable process fan-out",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return [_run_task(task) for task in tasks]
+        outcomes: List[Optional[Tuple]] = [None] * len(tasks)
+        workers = min(self.max_workers, len(tasks))
+        executor = ProcessPoolExecutor(max_workers=workers)
+        try:
+            futures = {
+                i: executor.submit(_run_task, task)
+                for i, task in enumerate(tasks)
+            }
+            for i, future in futures.items():
+                try:
+                    outcomes[i] = future.result(timeout=self.task_timeout)
+                except (BrokenExecutor, FutureTimeoutError, OSError):
+                    outcomes[i] = None  # retried below, in-process
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        for i, outcome in enumerate(outcomes):
+            if outcome is None:
+                # retry-once: same seeds, same numbers, just local CPU
+                outcomes[i] = _run_task(tasks[i])
+        return outcomes  # type: ignore[return-value]
+
+    @staticmethod
+    def _picklable(tasks: List[_Task]) -> bool:
+        seen = set()
+        for task in tasks:
+            marker = id(task.factory)
+            if marker in seen:
+                continue
+            seen.add(marker)
+            try:
+                pickle.dumps(task.factory)
+            except Exception:
+                return False
+        return True
+
+
+def parallel_average_static_runs(
+    spec: WorkloadSpec,
+    factories: Dict[str, object],
+    instances: int,
+    seed: SeedLike = None,
+    max_workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    metrics: Optional[MetricsRegistry] = None,
+):
+    """One-shot convenience wrapper around :class:`ParallelRunner`."""
+    runner = ParallelRunner(max_workers=max_workers, task_timeout=task_timeout)
+    return runner.average_static_runs(
+        spec, factories, instances, seed=seed, metrics=metrics
+    )
+
+
+__all__ = [
+    "PARALLEL_ENV_VAR",
+    "ParallelRunner",
+    "SRAFactory",
+    "GRAFactory",
+    "configure",
+    "resolve_max_workers",
+    "parallel_average_static_runs",
+]

@@ -1,4 +1,4 @@
-"""Rendering of reproduced figures as terminal tables."""
+"""Rendering of reproduced figures (and run metrics) as terminal tables."""
 
 from __future__ import annotations
 
@@ -6,6 +6,7 @@ from typing import Iterable, List, Optional
 
 from repro.experiments.config import ScaleProfile, get_profile
 from repro.experiments.figures import FIGURES, FigureResult, run_figure
+from repro.utils.metrics import MetricsRegistry
 
 
 def render_figure(result: FigureResult, precision: int = 2) -> str:
@@ -35,4 +36,9 @@ def render_all(
     return render_figures(sorted(FIGURES), profile, seed)
 
 
-__all__ = ["render_figure", "render_figures", "render_all"]
+def render_metrics(registry: MetricsRegistry, precision: int = 4) -> str:
+    """Cache counters and per-phase timers as a terminal block."""
+    return registry.render(precision=precision)
+
+
+__all__ = ["render_figure", "render_figures", "render_all", "render_metrics"]

@@ -70,6 +70,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="scale profile: quick (default) or paper",
     )
     parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fan (instance x algorithm) runs out over N worker processes "
+            "(default: serial, or $REPRO_PARALLEL); results are "
+            "bit-identical to serial for the same seed"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "collect and print cost-kernel cache counters and per-phase "
+            "timers after the run"
+        ),
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=DEFAULT_SEED,
@@ -86,6 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     from repro.experiments.ablations import ABLATIONS, run_ablation
+    from repro.experiments import parallel
+    from repro.experiments.report import render_metrics
+    from repro.utils.metrics import (
+        disable_global_metrics,
+        enable_global_metrics,
+        global_metrics,
+    )
 
     args = build_parser().parse_args(argv)
     if args.list_ablations:
@@ -103,29 +129,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         build_parser().print_help()
         return 2
     profile = get_profile(args.profile)
-    if args.export:
-        from repro.experiments.export import export_results
+    had_metrics = global_metrics() is not None
+    if args.parallel is not None:
+        parallel.configure(args.parallel)
+    registry = enable_global_metrics() if args.metrics else None
+    try:
+        if args.export:
+            from repro.experiments.export import export_results
 
-        manifest = export_results(args.export, profile, seed=args.seed)
-        print(
-            f"exported {len(manifest['files'])} files to {args.export} "
-            f"(profile={manifest['profile']}, seed={manifest['seed']})"
-        )
+            manifest = export_results(args.export, profile, seed=args.seed)
+            print(
+                f"exported {len(manifest['files'])} files to {args.export} "
+                f"(profile={manifest['profile']}, seed={manifest['seed']})"
+            )
+            if registry is not None:
+                print(render_metrics(registry))
+            return 0
+        if args.verify_claims:
+            from repro.experiments.claims import render_verdicts, verify_claims
+
+            print(render_verdicts(verify_claims(profile, seed=args.seed)))
+            print()
+        for figure_id in figure_ids:
+            result = run_figure(figure_id, profile, seed=args.seed)
+            print(render_figure(result, precision=args.precision))
+            print()
+        for ablation_id in ablation_ids:
+            result = run_ablation(ablation_id, profile)
+            print(result.render(precision=args.precision))
+            print()
+        if registry is not None:
+            print(render_metrics(registry))
         return 0
-    if args.verify_claims:
-        from repro.experiments.claims import render_verdicts, verify_claims
-
-        print(render_verdicts(verify_claims(profile, seed=args.seed)))
-        print()
-    for figure_id in figure_ids:
-        result = run_figure(figure_id, profile, seed=args.seed)
-        print(render_figure(result, precision=args.precision))
-        print()
-    for ablation_id in ablation_ids:
-        result = run_ablation(ablation_id, profile)
-        print(result.render(precision=args.precision))
-        print()
-    return 0
+    finally:
+        if args.parallel is not None:
+            parallel.configure(None)
+        if registry is not None and not had_metrics:
+            disable_global_metrics()
 
 
 if __name__ == "__main__":

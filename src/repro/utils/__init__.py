@@ -1,5 +1,12 @@
-"""Shared utilities: deterministic RNG fan-out, tables, timers, validation."""
+"""Shared utilities: RNG fan-out, metrics, tables, timers, validation."""
 
+from repro.utils.metrics import (
+    MetricsRegistry,
+    Timer,
+    disable_global_metrics,
+    enable_global_metrics,
+    global_metrics,
+)
 from repro.utils.rng import as_generator, spawn_generators, spawn_seeds
 from repro.utils.tables import format_series, format_table
 from repro.utils.timers import Stopwatch
@@ -12,6 +19,11 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "MetricsRegistry",
+    "Timer",
+    "enable_global_metrics",
+    "global_metrics",
+    "disable_global_metrics",
     "as_generator",
     "spawn_generators",
     "spawn_seeds",

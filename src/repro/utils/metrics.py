@@ -1,0 +1,200 @@
+"""Lightweight runtime metrics: counters and wall-clock timers.
+
+The experiment harness and the cost kernel are instrumented with a
+:class:`MetricsRegistry` — a plain in-process collection of named
+counters and accumulating timers.  The registry is deliberately tiny:
+
+* a **counter** is an integer bumped with :meth:`MetricsRegistry.increment`
+  (cache hits/misses, evaluation counts);
+* a **timer** accumulates wall-clock seconds, either via
+  :meth:`MetricsRegistry.observe` or the :class:`Timer` context manager
+  returned by :meth:`MetricsRegistry.timer`.
+
+Registries are cheap to create, picklable through :meth:`snapshot` /
+:meth:`merge_snapshot` (how the process-pool harness ships worker
+metrics back to the parent), and render as an aligned terminal table.
+
+A process-wide default registry can be installed with
+:func:`enable_global_metrics`; the experiment harness consults it so a
+single ``--metrics`` flag instruments every nested run without threading
+a registry through every call site.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+#: snapshot type: {"counters": {...}, "timers": {name: {"calls", "total_seconds", "max_seconds"}}}
+Snapshot = Dict[str, Dict[str, object]]
+
+
+class Timer:
+    """Context manager that adds its elapsed wall-clock to one timer."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self._registry.observe(
+                self._name, time.perf_counter() - self._start
+            )
+            self._start = None
+
+
+class _NullTimer:
+    """No-op stand-in used when a registry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class MetricsRegistry:
+    """Named counters plus accumulating wall-time timers.
+
+    >>> registry = MetricsRegistry()
+    >>> registry.increment("cache.hits")
+    >>> with registry.timer("solve"):
+    ...     pass
+    >>> registry.counters["cache.hits"]
+    1
+    >>> registry.timers["solve"]["calls"]
+    1
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, int] = {}
+        self._timers: Dict[str, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def increment(self, name: str, value: int = 1) -> None:
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + int(value)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one completed span of ``seconds`` under timer ``name``."""
+        if not self.enabled:
+            return
+        entry = self._timers.get(name)
+        if entry is None:
+            entry = {"calls": 0, "total_seconds": 0.0, "max_seconds": 0.0}
+            self._timers[name] = entry
+        entry["calls"] += 1
+        entry["total_seconds"] += float(seconds)
+        entry["max_seconds"] = max(entry["max_seconds"], float(seconds))
+
+    def timer(self, name: str):
+        """A context manager timing one span under ``name``."""
+        if not self.enabled:
+            return _NULL_TIMER
+        return Timer(self, name)
+
+    # ------------------------------------------------------------------ #
+    # access / aggregation
+    # ------------------------------------------------------------------ #
+    @property
+    def counters(self) -> Dict[str, int]:
+        return dict(self._counters)
+
+    @property
+    def timers(self) -> Dict[str, Dict[str, float]]:
+        return {name: dict(entry) for name, entry in self._timers.items()}
+
+    def snapshot(self) -> Snapshot:
+        """A picklable copy of every counter and timer."""
+        return {"counters": self.counters, "timers": self.timers}
+
+    def merge_snapshot(self, snapshot: Snapshot) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Used by the parallel harness: worker processes record into their
+        own registries and the parent merges the returned snapshots.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.increment(name, int(value))
+        for name, entry in snapshot.get("timers", {}).items():
+            mine = self._timers.get(name)
+            if mine is None:
+                mine = {"calls": 0, "total_seconds": 0.0, "max_seconds": 0.0}
+                self._timers[name] = mine
+            mine["calls"] += int(entry.get("calls", 0))
+            mine["total_seconds"] += float(entry.get("total_seconds", 0.0))
+            mine["max_seconds"] = max(
+                mine["max_seconds"], float(entry.get("max_seconds", 0.0))
+            )
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._timers.clear()
+
+    def render(self, precision: int = 4) -> str:
+        """Counters and timers as an aligned, sorted terminal block."""
+        lines = ["metrics:"]
+        for name in sorted(self._counters):
+            lines.append(f"  {name} = {self._counters[name]:,}")
+        for name in sorted(self._timers):
+            entry = self._timers[name]
+            lines.append(
+                f"  {name}: calls={int(entry['calls']):,} "
+                f"total={entry['total_seconds']:.{precision}f}s "
+                f"max={entry['max_seconds']:.{precision}f}s"
+            )
+        if len(lines) == 1:
+            lines.append("  (empty)")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# optional process-wide registry (CLI --metrics)
+# --------------------------------------------------------------------- #
+_GLOBAL: Optional[MetricsRegistry] = None
+
+
+def enable_global_metrics() -> MetricsRegistry:
+    """Install (or return the existing) process-wide registry."""
+    global _GLOBAL
+    if _GLOBAL is None:
+        _GLOBAL = MetricsRegistry()
+    return _GLOBAL
+
+
+def global_metrics() -> Optional[MetricsRegistry]:
+    """The process-wide registry, or ``None`` when not enabled."""
+    return _GLOBAL
+
+
+def disable_global_metrics() -> None:
+    """Remove the process-wide registry (mostly for tests)."""
+    global _GLOBAL
+    _GLOBAL = None
+
+
+__all__ = [
+    "MetricsRegistry",
+    "Timer",
+    "Snapshot",
+    "enable_global_metrics",
+    "global_metrics",
+    "disable_global_metrics",
+]

@@ -178,8 +178,124 @@ def test_cache_consistency(small_instance):
 def test_cache_eviction_when_full(small_instance):
     model = CostModel(small_instance, cache_size=5)
     scheme = ReplicationScheme.primary_only(small_instance)
-    model.total_cost(scheme)  # populates more than 5 entries -> clears
+    model.total_cost(scheme)  # populates more than 5 entries -> evicts LRU
     assert model.cache_info()["entries"] <= 5
+
+
+def test_cache_lru_keeps_hot_entries_past_capacity(small_instance):
+    """Regression: the old clear-wholesale policy thrashed to a 0% hit
+    rate once the working set exceeded capacity; the LRU must keep a hot
+    entry cached while cold entries stream past it."""
+    model = CostModel(small_instance, cache_size=3)
+    m = small_instance.num_sites
+    primary = int(small_instance.primaries[0])
+    hot = np.zeros(m, dtype=bool)
+    hot[primary] = True
+    streamed = 0
+    for site in range(m):
+        model.object_cost_cached(0, hot)  # hot column: LRU-refreshed
+        if site == primary:
+            continue
+        cold = hot.copy()
+        cold[site] = True
+        model.object_cost_cached(0, cold)  # distinct cold column
+        streamed += 1
+    info = model.cache_info()
+    assert streamed + 1 > 3  # the working set really exceeded capacity
+    assert info["evictions"] > 0
+    assert info["hits"] >= m - 1  # every hot re-read after the first hit
+    assert info["hit_rate"] > 0.0
+    assert info["entries"] <= 3
+
+
+def test_cache_hit_rate_positive_after_capacity_exceeded_in_batch(
+    small_instance,
+):
+    """Same regression through the batch path: re-pricing a population
+    larger than the cache must still reuse cached columns."""
+    model = CostModel(small_instance, cache_size=4)
+    m = small_instance.num_sites
+    primary = int(small_instance.primaries[0])
+    columns = np.zeros((m, m), dtype=bool)
+    columns[:, primary] = True
+    for row in range(m):
+        columns[row, row] = True
+    assert m > 4  # population exceeds capacity
+    model.object_costs_batch(0, columns)
+    # the most recently priced columns survive the LRU; re-pricing the
+    # whole population must hit on them instead of thrashing to 0%
+    model.object_costs_batch(0, columns)
+    info = model.cache_info()
+    assert info["hits"] >= 4
+    assert info["evictions"] > 0
+    assert info["hit_rate"] > 0.0
+
+
+def test_cache_info_counts_hits_and_misses(small_instance):
+    model = CostModel(small_instance)
+    scheme = ReplicationScheme.primary_only(small_instance)
+    model.total_cost(scheme)
+    first = model.cache_info()
+    assert first["misses"] == small_instance.num_objects
+    assert first["hits"] == 0
+    model.total_cost(scheme)
+    second = model.cache_info()
+    assert second["hits"] == small_instance.num_objects
+    assert second["hit_rate"] == pytest.approx(0.5)
+
+
+def _degenerate_instance():
+    """d_prime == 0 (all demand at the primary, which costs nothing) but
+    extra replicas still attract positive update traffic."""
+    from repro.core import DRPInstance
+
+    cost = np.array([[0.0, 1.0], [1.0, 0.0]])
+    sizes = np.array([2.0])
+    capacities = np.array([10.0, 10.0])
+    reads = np.array([[5.0], [0.0]])
+    writes = np.array([[3.0], [0.0]])
+    primaries = np.array([0])
+    return DRPInstance(cost, sizes, capacities, reads, writes, primaries)
+
+
+def test_savings_negative_infinity_when_d_prime_zero_but_cost_positive():
+    instance = _degenerate_instance()
+    model = CostModel(instance)
+    assert model.d_prime() == pytest.approx(0.0)
+    replicated = ReplicationScheme.primary_only(instance)
+    replicated.add_replica(1, 0)
+    # the replica at site 1 receives every broadcast update: 3 * 2 * C(1,0)
+    assert model.total_cost(replicated) == pytest.approx(6.0)
+    assert model.savings_percent(replicated) == float("-inf")
+    assert model.fitness(replicated) == float("-inf")
+
+
+def test_savings_zero_when_d_prime_and_cost_both_zero():
+    instance = _degenerate_instance()
+    model = CostModel(instance)
+    primary_only = ReplicationScheme.primary_only(instance)
+    assert model.savings_percent(primary_only) == pytest.approx(0.0)
+    assert model.fitness(primary_only) == pytest.approx(0.0)
+
+
+def test_algorithm_result_degenerate_savings():
+    from repro.algorithms.base import AlgorithmResult
+
+    class _Dummy:
+        def extra_replicas(self):
+            return 0
+
+    costly = AlgorithmResult(
+        scheme=_Dummy(), total_cost=6.0, d_prime=0.0,
+        runtime_seconds=0.0, algorithm="x",
+    )
+    assert costly.savings_percent == float("-inf")
+    assert costly.fitness == float("-inf")
+    free = AlgorithmResult(
+        scheme=_Dummy(), total_cost=0.0, d_prime=0.0,
+        runtime_seconds=0.0, algorithm="x",
+    )
+    assert free.savings_percent == pytest.approx(0.0)
 
 
 def test_matrix_input_accepted(small_instance):

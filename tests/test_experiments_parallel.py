@@ -1,0 +1,215 @@
+"""The process-pool harness: determinism, fallbacks, crash recovery."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.algorithms import SRA
+from repro.algorithms.gra.params import GAParams
+from repro.errors import ValidationError
+from repro.experiments.harness import average_static_runs
+from repro.experiments.parallel import (
+    PARALLEL_ENV_VAR,
+    GRAFactory,
+    ParallelRunner,
+    SRAFactory,
+    configure,
+    parallel_average_static_runs,
+    resolve_max_workers,
+)
+from repro.utils.metrics import MetricsRegistry
+from repro.workload import WorkloadSpec
+
+SPEC = WorkloadSpec(
+    num_sites=8, num_objects=10, update_ratio=0.05, capacity_ratio=0.15
+)
+
+FACTORIES = {
+    "SRA": SRAFactory(),
+    "GRA": GRAFactory(GAParams(population_size=6, generations=4)),
+}
+
+
+def _deterministic_fields(averages):
+    return {
+        label: (avg.savings_percent, avg.total_cost, avg.extra_replicas,
+                avg.runs)
+        for label, avg in averages.items()
+    }
+
+
+def test_parallel_bit_identical_to_serial():
+    serial = average_static_runs(SPEC, FACTORIES, instances=3, seed=11)
+    parallel = ParallelRunner(max_workers=2).average_static_runs(
+        SPEC, FACTORIES, instances=3, seed=11
+    )
+    # exact equality, not approx: same SeedSequence children per task
+    assert _deterministic_fields(serial) == _deterministic_fields(parallel)
+
+
+def test_worker_counts_agree_with_each_other():
+    two = ParallelRunner(max_workers=2).average_static_runs(
+        SPEC, FACTORIES, instances=3, seed=13
+    )
+    three = ParallelRunner(max_workers=3).average_static_runs(
+        SPEC, FACTORIES, instances=3, seed=13
+    )
+    assert _deterministic_fields(two) == _deterministic_fields(three)
+
+
+def test_harness_max_workers_parameter_routes_to_pool():
+    serial = average_static_runs(SPEC, FACTORIES, instances=2, seed=17)
+    pooled = average_static_runs(
+        SPEC, FACTORIES, instances=2, seed=17, max_workers=2
+    )
+    assert _deterministic_fields(serial) == _deterministic_fields(pooled)
+
+
+def test_convenience_wrapper():
+    a = parallel_average_static_runs(
+        SPEC, FACTORIES, instances=2, seed=19, max_workers=2
+    )
+    b = average_static_runs(SPEC, FACTORIES, instances=2, seed=19)
+    assert _deterministic_fields(a) == _deterministic_fields(b)
+
+
+def test_unpicklable_factories_fall_back_to_serial_with_warning():
+    factories = {"SRA": lambda seed: SRA()}
+    runner = ParallelRunner(max_workers=2)
+    with pytest.warns(RuntimeWarning, match="not picklable"):
+        averages = runner.average_static_runs(
+            SPEC, factories, instances=2, seed=23
+        )
+    reference = average_static_runs(SPEC, factories, instances=2, seed=23)
+    assert _deterministic_fields(averages) == _deterministic_fields(reference)
+
+
+class _CrashInWorkerFactory:
+    """Kills the hosting process — but only when it is NOT the parent.
+
+    The parallel attempt therefore dies with BrokenProcessPool, and the
+    in-process retry (same seeds) succeeds, exercising the recovery path
+    deterministically.
+    """
+
+    def __init__(self, parent_pid: int) -> None:
+        self.parent_pid = parent_pid
+
+    def __call__(self, seed):
+        if os.getpid() != self.parent_pid:
+            os._exit(13)
+        return SRA()
+
+
+def test_worker_crash_is_retried_in_process():
+    factories = {"SRA": _CrashInWorkerFactory(os.getpid())}
+    crashed = ParallelRunner(max_workers=2).average_static_runs(
+        SPEC, factories, instances=2, seed=29
+    )
+    reference = average_static_runs(
+        SPEC, {"SRA": SRAFactory()}, instances=2, seed=29
+    )
+    assert _deterministic_fields(crashed) == _deterministic_fields(reference)
+
+
+class _SleepInWorkerFactory:
+    """Stalls only inside worker processes, to trip the task timeout."""
+
+    def __init__(self, parent_pid: int, seconds: float) -> None:
+        self.parent_pid = parent_pid
+        self.seconds = seconds
+
+    def __call__(self, seed):
+        if os.getpid() != self.parent_pid:
+            time.sleep(self.seconds)
+        return SRA()
+
+
+def test_task_timeout_falls_back_to_in_process_run():
+    factories = {"SRA": _SleepInWorkerFactory(os.getpid(), seconds=30.0)}
+    runner = ParallelRunner(max_workers=2, task_timeout=0.25)
+    averages = runner.average_static_runs(
+        SPEC, factories, instances=2, seed=31
+    )
+    reference = average_static_runs(
+        SPEC, {"SRA": SRAFactory()}, instances=2, seed=31
+    )
+    assert _deterministic_fields(averages) == _deterministic_fields(reference)
+
+
+def test_task_exceptions_propagate():
+    class Boom(RuntimeError):
+        pass
+
+    class _RaisingFactory:
+        def __call__(self, seed):
+            raise Boom("factory failure")
+
+    with pytest.raises(Exception):
+        ParallelRunner(max_workers=1).average_static_runs(
+            SPEC, {"SRA": _RaisingFactory()}, instances=1, seed=37
+        )
+
+
+def test_metrics_merged_from_workers():
+    registry = MetricsRegistry()
+    ParallelRunner(max_workers=2).average_static_runs(
+        SPEC, FACTORIES, instances=2, seed=41, metrics=registry
+    )
+    counters = registry.counters
+    assert counters["harness.instances"] == 2
+    assert counters["harness.tasks"] == 4
+    assert counters.get("cost.cache_misses", 0) > 0
+    assert "solve.SRA" in registry.timers
+    assert "solve.GRA" in registry.timers
+
+
+def test_validation_errors():
+    with pytest.raises(ValidationError):
+        ParallelRunner(max_workers=0)
+    with pytest.raises(ValidationError):
+        ParallelRunner(task_timeout=0.0)
+    with pytest.raises(ValidationError):
+        ParallelRunner(max_workers=1).average_static_runs(
+            SPEC, FACTORIES, instances=0
+        )
+    with pytest.raises(ValidationError):
+        ParallelRunner(max_workers=1).average_static_runs(
+            SPEC, {}, instances=1
+        )
+
+
+def test_resolve_max_workers_precedence(monkeypatch):
+    monkeypatch.delenv(PARALLEL_ENV_VAR, raising=False)
+    assert resolve_max_workers() == 1
+    assert resolve_max_workers(3) == 3
+    monkeypatch.setenv(PARALLEL_ENV_VAR, "4")
+    assert resolve_max_workers() == 4
+    configure(2)
+    try:
+        assert resolve_max_workers() == 2  # configure beats the env var
+        assert resolve_max_workers(5) == 5  # explicit beats configure
+    finally:
+        configure(None)
+    assert resolve_max_workers() == 4
+    monkeypatch.setenv(PARALLEL_ENV_VAR, "zero")
+    with pytest.raises(ValidationError):
+        resolve_max_workers()
+    monkeypatch.setenv(PARALLEL_ENV_VAR, "0")
+    with pytest.raises(ValidationError):
+        resolve_max_workers()
+    with pytest.raises(ValidationError):
+        configure(0)
+
+
+def test_serial_runner_needs_no_executor():
+    runner = ParallelRunner(max_workers=1)
+    assert runner.serial
+    averages = runner.average_static_runs(
+        SPEC, FACTORIES, instances=2, seed=43
+    )
+    reference = average_static_runs(SPEC, FACTORIES, instances=2, seed=43)
+    assert _deterministic_fields(averages) == _deterministic_fields(reference)

@@ -38,3 +38,47 @@ def test_render_figure_precision():
     result = fig3a(MICRO, seed=3)
     text = render_figure(result, precision=1)
     assert "fig3a" in text
+
+
+def test_parser_accepts_parallel_and_metrics():
+    args = build_parser().parse_args(
+        ["--figure", "fig1a", "--parallel", "4", "--metrics"]
+    )
+    assert args.parallel == 4
+    assert args.metrics is True
+    defaults = build_parser().parse_args(["--figure", "fig1a"])
+    assert defaults.parallel is None
+    assert defaults.metrics is False
+
+
+def test_main_metrics_flag_prints_registry(capsys, monkeypatch):
+    from repro.experiments import runner as runner_mod
+    from repro.experiments.figures import clear_cache
+    from repro.utils.metrics import global_metrics
+
+    clear_cache()
+    monkeypatch.setattr(runner_mod, "get_profile", lambda name="": MICRO)
+    assert main(["--figure", "fig3a", "--metrics", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "fig3a" in out
+    assert "metrics:" in out
+    assert "solve.SRA" in out
+    assert "cost.cache_" in out
+    # the flag must not leak a process-wide registry past main()
+    assert global_metrics() is None
+    clear_cache()
+
+
+def test_main_parallel_flag_resets_default(monkeypatch, capsys):
+    from repro.experiments import runner as runner_mod
+    from repro.experiments.figures import clear_cache
+    from repro.experiments.parallel import resolve_max_workers
+
+    clear_cache()
+    monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+    monkeypatch.setattr(runner_mod, "get_profile", lambda name="": MICRO)
+    assert main(["--figure", "fig3a", "--parallel", "2", "--seed", "8"]) == 0
+    assert "fig3a" in capsys.readouterr().out
+    # configure(None) restored on exit
+    assert resolve_max_workers() == 1
+    clear_cache()

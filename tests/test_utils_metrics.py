@@ -1,0 +1,113 @@
+"""The metrics registry: counters, timers, snapshots, the global hook."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.metrics import (
+    MetricsRegistry,
+    disable_global_metrics,
+    enable_global_metrics,
+    global_metrics,
+)
+
+
+def test_counters_accumulate():
+    registry = MetricsRegistry()
+    registry.increment("hits")
+    registry.increment("hits", 4)
+    registry.increment("misses")
+    assert registry.counters == {"hits": 5, "misses": 1}
+
+
+def test_timer_context_manager_records_calls_and_time():
+    registry = MetricsRegistry()
+    for _ in range(3):
+        with registry.timer("phase"):
+            pass
+    entry = registry.timers["phase"]
+    assert entry["calls"] == 3
+    assert entry["total_seconds"] >= 0.0
+    assert entry["max_seconds"] <= entry["total_seconds"] + 1e-12
+
+
+def test_observe_tracks_max():
+    registry = MetricsRegistry()
+    registry.observe("solve", 0.25)
+    registry.observe("solve", 1.5)
+    registry.observe("solve", 0.5)
+    entry = registry.timers["solve"]
+    assert entry["calls"] == 3
+    assert entry["total_seconds"] == pytest.approx(2.25)
+    assert entry["max_seconds"] == pytest.approx(1.5)
+
+
+def test_disabled_registry_is_a_no_op():
+    registry = MetricsRegistry(enabled=False)
+    registry.increment("hits")
+    with registry.timer("phase"):
+        pass
+    registry.observe("solve", 1.0)
+    assert registry.counters == {}
+    assert registry.timers == {}
+
+
+def test_snapshot_roundtrip_and_merge():
+    a = MetricsRegistry()
+    a.increment("hits", 2)
+    a.observe("solve", 1.0)
+    b = MetricsRegistry()
+    b.increment("hits", 3)
+    b.increment("misses")
+    b.observe("solve", 2.0)
+    b.observe("batch", 0.5)
+    a.merge_snapshot(b.snapshot())
+    assert a.counters == {"hits": 5, "misses": 1}
+    assert a.timers["solve"]["calls"] == 2
+    assert a.timers["solve"]["total_seconds"] == pytest.approx(3.0)
+    assert a.timers["solve"]["max_seconds"] == pytest.approx(2.0)
+    assert a.timers["batch"]["calls"] == 1
+
+
+def test_snapshot_is_a_copy():
+    registry = MetricsRegistry()
+    registry.increment("hits")
+    snap = registry.snapshot()
+    snap["counters"]["hits"] = 99
+    assert registry.counters["hits"] == 1
+
+
+def test_reset():
+    registry = MetricsRegistry()
+    registry.increment("hits")
+    registry.observe("solve", 1.0)
+    registry.reset()
+    assert registry.counters == {}
+    assert registry.timers == {}
+
+
+def test_render_contains_everything():
+    registry = MetricsRegistry()
+    registry.increment("cost.cache_hits", 7)
+    registry.observe("solve.SRA", 0.125)
+    text = registry.render()
+    assert "cost.cache_hits = 7" in text
+    assert "solve.SRA" in text
+    assert "calls=1" in text
+
+
+def test_render_empty():
+    assert "(empty)" in MetricsRegistry().render()
+
+
+def test_global_registry_lifecycle():
+    disable_global_metrics()
+    assert global_metrics() is None
+    registry = enable_global_metrics()
+    try:
+        assert global_metrics() is registry
+        # idempotent: enabling again returns the same instance
+        assert enable_global_metrics() is registry
+    finally:
+        disable_global_metrics()
+    assert global_metrics() is None
