@@ -35,6 +35,7 @@ from repro.core.scheme import ReplicationScheme
 from repro.errors import ValidationError
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.timers import Stopwatch
+from repro.utils.tracing import current_tracer
 
 
 class AGRA:
@@ -145,9 +146,14 @@ class AGRA:
                 f"{mini_gra_generations}"
             )
         model = CostModel(instance, update_fraction=self._update_fraction)
+        tracer = current_tracer()
         watch = Stopwatch()
         micro_evaluations = 0
-        with watch:
+        with watch, tracer.span(
+            "agra.adapt",
+            changed_objects=len(changed),
+            mini_gra_generations=mini_gra_generations,
+        ):
             population = self._build_population(
                 instance, model, current_scheme, seed_matrices
             )
@@ -162,20 +168,37 @@ class AGRA:
                 [-(member.fitness or 0.0) for member in population.members]
             )
             for k in changed:
-                micro = run_micro_ga(
-                    instance,
-                    model,
-                    k,
-                    current_column=current_scheme.matrix[:, k],
-                    seed_columns=seed_columns_by_obj[k],
-                    params=self.params,
-                    rng=self._rng,
-                )
+                with tracer.span("agra.micro_ga", obj=k) as span:
+                    micro = run_micro_ga(
+                        instance,
+                        model,
+                        k,
+                        current_column=current_scheme.matrix[:, k],
+                        seed_columns=seed_columns_by_obj[k],
+                        params=self.params,
+                        rng=self._rng,
+                    )
+                    span.set(evaluations=micro.evaluations)
                 micro_evaluations += micro.evaluations
-                transcribe_population(
-                    population, micro.columns, k, rng=self._rng,
-                    order=order,
-                )
+                if tracer.enabled:
+                    # The allocation decision: the ranked placement the
+                    # micro-GA voted best for this changed object.
+                    before = int(current_scheme.matrix[:, k].sum())
+                    after = int(
+                        np.asarray(micro.columns[0], dtype=bool).sum()
+                    )
+                    tracer.event(
+                        "agra.allocate",
+                        obj=k,
+                        replicas_before=before,
+                        replicas_after=after,
+                        candidates=len(micro.columns),
+                    )
+                with tracer.span("agra.transcribe", obj=k):
+                    transcribe_population(
+                        population, micro.columns, k, rng=self._rng,
+                        order=order,
+                    )
             if mini_gra_generations > 0:
                 mini = GRA(
                     params=self.gra_params,

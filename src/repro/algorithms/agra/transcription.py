@@ -26,6 +26,7 @@ from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
 from repro.errors import ReproError, ValidationError
 from repro.utils.rng import SeedLike, as_generator
+from repro.utils.tracing import current_tracer
 
 
 def repair_capacity(
@@ -60,10 +61,20 @@ def repair_capacity(
             if not np.isnan(estimates[int(k)])
         ]
         used = float(scheme.used_storage()[site])
+        tracer = current_tracer()
         for victim in order:
             if used <= capacities[site] + 1e-9:
                 break
             scheme.drop_replica(site, victim)
+            if tracer.enabled:
+                # The Eq. 6 deallocation decision: lowest estimated
+                # replica value goes first.
+                tracer.event(
+                    "agra.deallocate",
+                    site=site,
+                    obj=victim,
+                    estimate=float(estimates[victim]),
+                )
             used -= float(instance.sizes[victim])
         if used > capacities[site] + 1e-9:
             if (
@@ -72,6 +83,14 @@ def repair_capacity(
                 and int(instance.primaries[protected_obj]) != site
             ):
                 scheme.drop_replica(site, protected_obj)
+                if tracer.enabled:
+                    tracer.event(
+                        "agra.deallocate",
+                        site=site,
+                        obj=protected_obj,
+                        estimate=None,  # protected: dropped as last resort
+                        last_resort=True,
+                    )
                 used -= float(instance.sizes[protected_obj])
             if used > capacities[site] + 1e-9:
                 raise ReproError(

@@ -40,6 +40,7 @@ from repro.core.cost import CostModel
 from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
 from repro.utils.rng import SeedLike, as_generator
+from repro.utils.tracing import current_tracer
 
 
 class GRA(ReplicationAlgorithm):
@@ -159,58 +160,101 @@ class GRA(ReplicationAlgorithm):
 
         Exposed publicly because AGRA reuses it as the "mini-GRA" over a
         transcripted population (Section 5).
+
+        Convergence is recorded as one trace record per generation (a
+        ``gra.generation`` span carrying best/mean fitness — index 0 is
+        the seeded population before any evolution), and the returned
+        diagnostics keep the historical ``best_fitness_history`` /
+        ``mean_fitness_history`` list keys, derived from those records.
         """
         instance = population.instance
         params = self.params
         rng = self._rng
-        population.evaluate_all()
-        elite = population.best().copy()
-        best_history: List[float] = [float(elite.fitness or 0.0)]
-        mean_history: List[float] = [population.mean_fitness()]
+        tracer = current_tracer()
 
-        for gen in range(generations):
-            parents = population.members
-            cross = self._crossover_subpopulation(instance, parents)
-            mutated = self._mutation_subpopulation(instance, parents)
-
-            if params.selection == "mu+lambda":
-                pool = [*parents, *cross, *mutated]
-            else:
-                # Simple (SGA-style) sampling space: offspring only.
-                pool = [*cross, *mutated]
-            # batch-evaluate the whole pool (shared columns collapse)
-            survivors = population.members
-            population.members = pool
-            population.evaluate_all()
-            population.members = survivors
-            fitness = np.asarray(
-                [member.fitness for member in pool], dtype=float
-            )
-            chosen = stochastic_remainder_selection(
-                fitness, params.population_size, rng
-            )
-            population.members = [pool[i].copy() for i in chosen]
-
-            current_best = population.best()
-            if (current_best.fitness or 0.0) > (elite.fitness or 0.0):
-                elite = current_best.copy()
-            if params.elitism and (gen + 1) % params.elite_interval == 0:
-                population.members[population.worst_index()] = elite.copy()
-
-            best_history.append(float(elite.fitness or 0.0))
-            mean_history.append(population.mean_fitness())
-
-        # Make sure the best-ever solution is present in the final
-        # population regardless of the injection cadence.
-        if params.elitism and (elite.fitness or 0.0) > (
-            population.best().fitness or 0.0
+        with tracer.span(
+            "gra.evolve",
+            generations=generations,
+            population_size=len(population.members),
+            selection=params.selection,
         ):
-            population.members[population.worst_index()] = elite.copy()
+            # Record 0: the seeded population, before any evolution.
+            with tracer.span("gra.generation") as span:
+                population.evaluate_all()
+                elite = population.best().copy()
+                records: List[Dict[str, float]] = [
+                    {
+                        "generation": 0,
+                        "best_fitness": float(elite.fitness or 0.0),
+                        "mean_fitness": population.mean_fitness(),
+                    }
+                ]
+                span.set(
+                    index=0,
+                    best=records[0]["best_fitness"],
+                    mean=records[0]["mean_fitness"],
+                )
+
+            for gen in range(generations):
+                with tracer.span("gra.generation") as span:
+                    parents = population.members
+                    cross = self._crossover_subpopulation(instance, parents)
+                    mutated = self._mutation_subpopulation(instance, parents)
+
+                    if params.selection == "mu+lambda":
+                        pool = [*parents, *cross, *mutated]
+                    else:
+                        # Simple (SGA-style) sampling space: offspring only.
+                        pool = [*cross, *mutated]
+                    # batch-evaluate the whole pool (shared columns collapse)
+                    survivors = population.members
+                    population.members = pool
+                    population.evaluate_all()
+                    population.members = survivors
+                    fitness = np.asarray(
+                        [member.fitness for member in pool], dtype=float
+                    )
+                    chosen = stochastic_remainder_selection(
+                        fitness, params.population_size, rng
+                    )
+                    population.members = [pool[i].copy() for i in chosen]
+
+                    current_best = population.best()
+                    if (current_best.fitness or 0.0) > (elite.fitness or 0.0):
+                        elite = current_best.copy()
+                    if (
+                        params.elitism
+                        and (gen + 1) % params.elite_interval == 0
+                    ):
+                        population.members[population.worst_index()] = (
+                            elite.copy()
+                        )
+
+                    record = {
+                        "generation": gen + 1,
+                        "best_fitness": float(elite.fitness or 0.0),
+                        "mean_fitness": population.mean_fitness(),
+                    }
+                    records.append(record)
+                    span.set(
+                        index=gen + 1,
+                        best=record["best_fitness"],
+                        mean=record["mean_fitness"],
+                        pool=len(pool),
+                    )
+
+            # Make sure the best-ever solution is present in the final
+            # population regardless of the injection cadence.
+            if params.elitism and (elite.fitness or 0.0) > (
+                population.best().fitness or 0.0
+            ):
+                population.members[population.worst_index()] = elite.copy()
 
         return {
             "generations": generations,
-            "best_fitness_history": best_history,
-            "mean_fitness_history": mean_history,
+            "convergence_records": records,
+            "best_fitness_history": [r["best_fitness"] for r in records],
+            "mean_fitness_history": [r["mean_fitness"] for r in records],
             "final_diversity": population.diversity(),
         }
 

@@ -33,6 +33,7 @@ from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
 from repro.errors import ValidationError
 from repro.utils.rng import SeedLike, as_generator
+from repro.utils.tracing import current_tracer
 
 #: site-visit orders supported by :class:`SRA`
 ORDER_ROUND_ROBIN = "round-robin"
@@ -77,6 +78,23 @@ class SRA(ReplicationAlgorithm):
     # ------------------------------------------------------------------ #
     def _solve(
         self, instance: DRPInstance, model: CostModel
+    ) -> Tuple[ReplicationScheme, Dict[str, object]]:
+        tracer = current_tracer()
+        with tracer.span(
+            "sra.solve",
+            sites=instance.num_sites,
+            objects=instance.num_objects,
+            order=self._site_order,
+        ) as span:
+            scheme, stats = self._solve_traced(instance, model, tracer)
+            span.set(replicas_created=stats["replicas_created"])
+        return scheme, stats
+
+    def _solve_traced(
+        self,
+        instance: DRPInstance,
+        model: CostModel,
+        tracer,
     ) -> Tuple[ReplicationScheme, Dict[str, object]]:
         m, n = instance.num_sites, instance.num_objects
         cost = instance.cost
@@ -133,6 +151,15 @@ class SRA(ReplicationAlgorithm):
                 viable_objs = objs[viable]
                 best = int(viable_objs[np.argmax(benefit[viable])])
                 scheme.add_replica(site, best)
+                if tracer.enabled:
+                    # Eq. 5 benefit of the placement actually taken.
+                    tracer.event(
+                        "sra.place",
+                        site=site,
+                        obj=best,
+                        benefit=float(benefit[viable].max()),
+                        step=steps,
+                    )
                 replicas_created += 1
                 remaining[site] -= sizes[best]
                 candidates[site, best] = False

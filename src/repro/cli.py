@@ -12,7 +12,15 @@ Subcommands:
 * ``compare``  — run several algorithms over freshly generated
   instances and print mean savings with confidence intervals;
 * ``figures``  — alias of ``repro-experiments`` (reproduce the paper's
-  figures).
+  figures);
+* ``trace``    — summarise a trace file written by ``--trace`` (top
+  spans by self time, per-phase breakdown, GRA convergence, AGRA
+  decisions).
+
+``solve``, ``simulate`` and ``compare`` accept ``--trace FILE`` (with
+``--trace-format jsonl|chrome``) to record an execution trace; the
+``chrome`` format loads directly into Perfetto / ``chrome://tracing``.
+See ``docs/observability.md``.
 
 Examples
 --------
@@ -30,7 +38,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -55,6 +64,13 @@ from repro.io import (
     save_scheme,
 )
 from repro.sim import ReplicaSystem, Simulator
+from repro.utils.tracing import (
+    FORMAT_JSONL,
+    FORMATS,
+    disable_global_tracing,
+    enable_global_tracing,
+    global_tracer,
+)
 from repro.workload import WorkloadSpec, generate_instance, generate_instances
 from repro.workload.trace import generate_trace
 
@@ -70,6 +86,46 @@ ALGORITHMS: Dict[str, Callable[..., object]] = {
     "read-only-greedy": lambda seed, gens: ReadOnlyGreedy(),
     "none": lambda seed, gens: NoReplication(),
 }
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    """``--trace`` / ``--trace-format`` shared by tracing subcommands."""
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record an execution trace to FILE (inspect with "
+        "`repro trace FILE`)",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=sorted(FORMATS),
+        default=FORMAT_JSONL,
+        help="trace file format: jsonl (default) or chrome "
+        "(Perfetto / chrome://tracing)",
+    )
+
+
+@contextmanager
+def _tracing(args: argparse.Namespace) -> Iterator[None]:
+    """Enable tracing around a subcommand when ``--trace`` was given.
+
+    The trace is written even when the command body raises, so a failed
+    run still leaves its trace behind for diagnosis.
+    """
+    path = getattr(args, "trace", None)
+    if not path:
+        yield
+        return
+    had_tracer = global_tracer() is not None
+    tracer = enable_global_tracing()
+    try:
+        yield
+    finally:
+        tracer.write(path, format=args.trace_format)
+        print(f"trace written to {path} ({args.trace_format})")
+        if not had_tracer:
+            disable_global_tracing()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -106,6 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print cost-kernel cache counters and per-phase timers",
     )
+    _add_trace_args(solve)
 
     evaluate = sub.add_parser("evaluate", help="evaluate a saved scheme")
     evaluate.add_argument("scheme")
@@ -122,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("scheme")
     simulate.add_argument("--duration", type=float, default=1.0)
     simulate.add_argument("--seed", type=int, default=None)
+    _add_trace_args(simulate)
 
     compare = sub.add_parser(
         "compare", help="compare algorithms over fresh instances"
@@ -143,11 +201,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print cost-kernel cache counters and per-phase timers",
     )
+    _add_trace_args(compare)
 
     figures = sub.add_parser(
         "figures", help="reproduce the paper's figures (see repro-experiments)"
     )
     figures.add_argument("rest", nargs=argparse.REMAINDER)
+
+    trace = sub.add_parser(
+        "trace", help="summarise a trace file written by --trace"
+    )
+    trace.add_argument("file", help="trace file (jsonl or chrome format)")
+    trace.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="rows in the top-spans-by-self-time table (default 15)",
+    )
 
     return parser
 
@@ -174,11 +244,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
     registry = MetricsRegistry() if args.metrics else None
     model = CostModel(instance, metrics=registry)
-    if args.algorithm == "optimal":
-        result = solve_optimal(instance, model)
-    else:
-        algorithm = ALGORITHMS[args.algorithm](args.seed, args.generations)
-        result = algorithm.run(instance, model)
+    with _tracing(args):
+        if args.algorithm == "optimal":
+            result = solve_optimal(instance, model)
+        else:
+            algorithm = ALGORITHMS[args.algorithm](args.seed, args.generations)
+            result = algorithm.run(instance, model)
     print(result.summary())
     print(f"D' = {result.d_prime:,.2f}   D = {result.total_cost:,.2f}")
     if registry is not None:
@@ -215,7 +286,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     system = ReplicaSystem(instance, scheme)
     simulator = Simulator()
     system.attach(simulator, trace)
-    simulator.run()
+    with _tracing(args):
+        simulator.run()
     analytic = CostModel(instance).total_cost(scheme.matrix)
     measured = system.metrics.request_ntc
     print(f"requests replayed: {len(trace):,}")
@@ -223,6 +295,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"analytic D(X):     {analytic:,.2f}")
     print(f"exact match:       {abs(measured - analytic) < 1e-6}")
     for key, value in sorted(system.metrics.summary().items()):
+        print(f"  {key} = {value:,.3f}")
+    print("latency percentiles:")
+    for key, value in sorted(system.metrics.latency_summary().items()):
         print(f"  {key} = {value:,.3f}")
     return 0
 
@@ -245,7 +320,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     had_metrics = global_metrics() is not None
     registry = enable_global_metrics() if args.metrics else None
     try:
-        report = compare_algorithms(instances, factories, seed=args.seed + 1)
+        with _tracing(args):
+            report = compare_algorithms(
+                instances, factories, seed=args.seed + 1
+            )
         print(report.render())
         print(f"\nbest by mean savings: {report.best_algorithm()}")
         if registry is not None:
@@ -263,6 +341,14 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return figures_main(args.rest)
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.utils.trace_summary import render_summary, summarize
+
+    summary = summarize(args.file)
+    print(render_summary(summary, top=args.top))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -273,6 +359,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "compare": _cmd_compare,
         "figures": _cmd_figures,
+        "trace": _cmd_trace,
     }
     handler = handlers.get(args.command)
     if handler is None:

@@ -33,6 +33,7 @@ from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
 from repro.errors import ValidationError
 from repro.utils.metrics import MetricsRegistry
+from repro.utils.tracing import current_tracer
 from repro.utils.validation import check_fraction
 
 SchemeLike = Union[ReplicationScheme, np.ndarray]
@@ -179,12 +180,26 @@ class CostModel:
         if self._metrics is not None:
             self._metrics.increment("cost.cache_misses")
 
+    #: evictions between ``cost.cache_pressure`` trace events
+    _EVICTION_SAMPLE = 1024
+
     def _cache_insert(self, key: Tuple[int, bytes], value: float) -> None:
         if len(self._cache) >= self._cache_size:
             self._cache.popitem(last=False)
             self._evictions += 1
             if self._metrics is not None:
                 self._metrics.increment("cost.cache_evictions")
+            if self._evictions % self._EVICTION_SAMPLE == 1:
+                tracer = current_tracer()
+                if tracer.enabled:
+                    # Sampled: one event per _EVICTION_SAMPLE evictions
+                    # marks when (and how hard) the LRU starts thrashing.
+                    tracer.event(
+                        "cost.cache_pressure",
+                        evictions=self._evictions,
+                        hits=self._hits,
+                        misses=self._misses,
+                    )
         self._cache[key] = value
 
     def object_costs_batch(
@@ -206,6 +221,19 @@ class CostModel:
                 "columns must have shape (P, "
                 f"{self._instance.num_sites}), got {columns.shape}"
             )
+        tracer = current_tracer()
+        if tracer.enabled:
+            # One span per batched evaluation: coarse enough to stay
+            # cheap, fine enough to localise GA evaluation time.
+            with tracer.span(
+                "cost.batch", obj=obj, rows=int(columns.shape[0])
+            ):
+                return self._timed_batch(obj, columns, chunk)
+        return self._timed_batch(obj, columns, chunk)
+
+    def _timed_batch(
+        self, obj: int, columns: np.ndarray, chunk: int
+    ) -> np.ndarray:
         if self._metrics is not None:
             with self._metrics.timer("cost.batch"):
                 return self._object_costs_batch(obj, columns, chunk)
@@ -278,11 +306,14 @@ class CostModel:
         m = self._instance.num_sites
         per_object = np.empty(self._instance.num_objects)
         column = np.zeros(m, dtype=bool)
-        for k in range(self._instance.num_objects):
-            primary = int(self._instance.primaries[k])
-            column[primary] = True
-            per_object[k] = self.object_cost(k, column)
-            column[primary] = False
+        with current_tracer().span(
+            "cost.d_prime", objects=self._instance.num_objects
+        ):
+            for k in range(self._instance.num_objects):
+                primary = int(self._instance.primaries[k])
+                column[primary] = True
+                per_object[k] = self.object_cost(k, column)
+                column[primary] = False
         self._d_prime_per_object = per_object
 
     # ------------------------------------------------------------------ #

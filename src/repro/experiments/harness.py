@@ -26,6 +26,7 @@ from repro.core.problem import DRPInstance
 from repro.errors import ValidationError
 from repro.utils.metrics import MetricsRegistry, global_metrics
 from repro.utils.rng import SeedLike, spawn_seeds
+from repro.utils.tracing import current_tracer
 from repro.workload.generator import generate_instance
 from repro.workload.spec import WorkloadSpec
 
@@ -93,19 +94,31 @@ def average_static_runs(
             spec, factories, instances, seed=seed, metrics=metrics
         )
     metrics = metrics if metrics is not None else global_metrics()
+    tracer = current_tracer()
     results: Dict[str, List[AlgorithmResult]] = {
         label: [] for label in factories
     }
     instance_seeds = spawn_seeds(seed, instances)
-    for inst_seed in instance_seeds:
-        children = inst_seed.spawn(len(factories) + 1)
-        instance = generate_instance(spec, rng=children[0])
-        model = CostModel(instance, metrics=metrics)
-        for (label, factory), algo_seed in zip(
-            factories.items(), children[1:]
-        ):
-            algorithm = factory(algo_seed)
-            results[label].append(algorithm.run(instance, model))
+    # Same span names as the parallel runner, so `repro trace` output
+    # reads identically whether a sweep ran serially or fanned out.
+    with tracer.span(
+        "harness.average_static_runs",
+        instances=instances,
+        algorithms=len(factories),
+        workers=1,
+    ):
+        for index, inst_seed in enumerate(instance_seeds):
+            children = inst_seed.spawn(len(factories) + 1)
+            instance = generate_instance(spec, rng=children[0])
+            model = CostModel(instance, metrics=metrics)
+            for (label, factory), algo_seed in zip(
+                factories.items(), children[1:]
+            ):
+                algorithm = factory(algo_seed)
+                with tracer.span(
+                    "harness.task", label=label, instance=index
+                ):
+                    results[label].append(algorithm.run(instance, model))
     if metrics is not None:
         metrics.increment("harness.instances", instances)
         metrics.increment("harness.tasks", instances * len(factories))

@@ -51,6 +51,13 @@ from repro.core.cost import CostModel
 from repro.errors import ValidationError
 from repro.utils.metrics import MetricsRegistry, Snapshot, global_metrics
 from repro.utils.rng import SeedLike, spawn_seeds
+from repro.utils.tracing import (
+    Record,
+    Tracer,
+    current_tracer,
+    disable_global_tracing,
+    enable_global_tracing,
+)
 from repro.workload.generator import generate_instance
 from repro.workload.spec import WorkloadSpec
 
@@ -136,9 +143,13 @@ class _Task:
     instance_index: int
     instance_seed: np.random.SeedSequence
     collect_metrics: bool
+    collect_trace: bool = False
+    parent_pid: int = 0
 
 
-def _run_task(task: _Task) -> Tuple[int, str, AlgorithmResult, Optional[Snapshot]]:
+def _run_task(
+    task: _Task,
+) -> Tuple[int, str, AlgorithmResult, Optional[Snapshot], Optional[Record]]:
     """Execute one grid cell; top-level so worker processes can import it.
 
     Spawns the same ``num_factories + 1`` children the serial harness
@@ -151,6 +162,14 @@ def _run_task(task: _Task) -> Tuple[int, str, AlgorithmResult, Optional[Snapshot
     ``SeedSequence.spawn`` mutates its spawn counter — re-deriving resets
     the counter to zero so every task sees the same children whether it
     runs in a worker (fresh pickled copy) or in-process (shared object).
+
+    With ``collect_trace``, a worker records into a fresh per-task
+    tracer and ships its snapshot back for the parent to re-parent under
+    the sweep's root span.  Whether this call *is* in a worker is decided
+    by pid, not by the presence of a global tracer — forked workers
+    inherit the parent's tracer, but records written to that copy would
+    be lost.  In the parent itself (serial path, in-process retry) the
+    task records straight into the live tracer and ships nothing.
     """
     seq = task.instance_seed
     seq = np.random.SeedSequence(
@@ -159,13 +178,29 @@ def _run_task(task: _Task) -> Tuple[int, str, AlgorithmResult, Optional[Snapshot
         pool_size=seq.pool_size,
     )
     children = seq.spawn(task.num_factories + 1)
-    instance = generate_instance(task.spec, rng=children[0])
-    registry = MetricsRegistry() if task.collect_metrics else None
-    model = CostModel(instance, metrics=registry)
-    algorithm = task.factory(children[1 + task.factory_index])
-    result = algorithm.run(instance, model)
-    snapshot = registry.snapshot() if registry is not None else None
-    return task.instance_index, task.label, result, snapshot
+    own_tracer: Optional[Tracer] = None
+    if task.collect_trace and os.getpid() != task.parent_pid:
+        disable_global_tracing()  # drop any tracer copy inherited via fork
+        own_tracer = enable_global_tracing()
+    try:
+        with current_tracer().span(
+            "harness.task",
+            label=task.label,
+            instance=task.instance_index,
+        ):
+            instance = generate_instance(task.spec, rng=children[0])
+            registry = MetricsRegistry() if task.collect_metrics else None
+            model = CostModel(instance, metrics=registry)
+            algorithm = task.factory(children[1 + task.factory_index])
+            result = algorithm.run(instance, model)
+        snapshot = registry.snapshot() if registry is not None else None
+        trace = own_tracer.snapshot() if own_tracer is not None else None
+    finally:
+        if own_tracer is not None:
+            # Pool workers are reused across tasks: tear the tracer down
+            # so the next task starts from an empty buffer.
+            disable_global_tracing()
+    return task.instance_index, task.label, result, snapshot, trace
 
 
 class ParallelRunner:
@@ -224,6 +259,7 @@ class ParallelRunner:
         if not factories:
             raise ValidationError("need at least one algorithm factory")
         metrics = metrics if metrics is not None else global_metrics()
+        tracer = current_tracer()
         labels = list(factories)
         instance_seeds = spawn_seeds(seed, instances)
         tasks = [
@@ -236,18 +272,31 @@ class ParallelRunner:
                 instance_index=i,
                 instance_seed=inst_seed,
                 collect_metrics=metrics is not None,
+                collect_trace=tracer.enabled,
+                parent_pid=os.getpid(),
             )
             for i, inst_seed in enumerate(instance_seeds)
             for j, label in enumerate(labels)
         ]
-        outcomes = self._run_tasks(tasks)
-        results: Dict[str, List[AlgorithmResult]] = {
-            label: [] for label in labels
-        }
-        for _index, label, result, snapshot in outcomes:
-            results[label].append(result)
-            if metrics is not None and snapshot is not None:
-                metrics.merge_snapshot(snapshot)
+        with tracer.span(
+            "harness.average_static_runs",
+            instances=instances,
+            algorithms=len(labels),
+            workers=self.max_workers,
+        ) as root:
+            outcomes = self._run_tasks(tasks)
+            results: Dict[str, List[AlgorithmResult]] = {
+                label: [] for label in labels
+            }
+            # Merging in task order keeps the re-assigned span ids (and
+            # therefore the exported trace) deterministic for any worker
+            # count or completion order.
+            for _index, label, result, snapshot, trace in outcomes:
+                results[label].append(result)
+                if metrics is not None and snapshot is not None:
+                    metrics.merge_snapshot(snapshot)
+                if trace is not None:
+                    tracer.merge_snapshot(trace, parent_id=root.id)
         if metrics is not None:
             metrics.increment("harness.instances", instances)
             metrics.increment("harness.tasks", len(tasks))

@@ -89,6 +89,21 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "record an execution trace of the whole sweep (workers "
+            "included) to FILE; inspect with `repro trace FILE`"
+        ),
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=["chrome", "jsonl"],
+        default="jsonl",
+        help="trace file format: jsonl (default) or chrome (Perfetto)",
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=DEFAULT_SEED,
@@ -112,6 +127,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         enable_global_metrics,
         global_metrics,
     )
+    from repro.utils.tracing import (
+        disable_global_tracing,
+        enable_global_tracing,
+        global_tracer,
+    )
 
     args = build_parser().parse_args(argv)
     if args.list_ablations:
@@ -133,6 +153,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.parallel is not None:
         parallel.configure(args.parallel)
     registry = enable_global_metrics() if args.metrics else None
+    had_tracer = global_tracer() is not None
+    tracer = enable_global_tracing() if args.trace else None
     try:
         if args.export:
             from repro.experiments.export import export_results
@@ -162,6 +184,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(render_metrics(registry))
         return 0
     finally:
+        if tracer is not None:
+            # Written even on failure so a crashed sweep leaves a trace.
+            tracer.write(args.trace, format=args.trace_format)
+            print(f"trace written to {args.trace} ({args.trace_format})")
+            if not had_tracer:
+                disable_global_tracing()
         if args.parallel is not None:
             parallel.configure(None)
         if registry is not None and not had_metrics:

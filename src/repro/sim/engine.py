@@ -13,15 +13,28 @@ from typing import Callable, Optional
 
 from repro.errors import SimulationError
 from repro.sim.events import Action, EventQueue
+from repro.utils.tracing import current_tracer
 
 
 class Simulator:
-    """Drives an :class:`~repro.sim.events.EventQueue` forward in time."""
+    """Drives an :class:`~repro.sim.events.EventQueue` forward in time.
 
-    def __init__(self) -> None:
+    ``trace_sample_every`` controls event-loop tracing granularity: with
+    tracing enabled, one ``sim.progress`` event is emitted every that
+    many simulation events (default 1000), so a multi-million-event run
+    stays cheap to trace.  The run itself is wrapped in a ``sim.run``
+    span.
+    """
+
+    def __init__(self, trace_sample_every: int = 1000) -> None:
+        if trace_sample_every < 1:
+            raise SimulationError(
+                f"trace_sample_every must be >= 1, got {trace_sample_every}"
+            )
         self._queue = EventQueue()
         self.now = 0.0
         self.events_processed = 0
+        self.trace_sample_every = trace_sample_every
 
     def schedule(self, time: float, action: Action) -> None:
         """Schedule ``action`` at absolute simulated ``time``."""
@@ -44,17 +57,41 @@ class Simulator:
         (closed interval), matching the intuition that a run "until t"
         includes t.
         """
-        while self._queue:
-            next_time = self._queue.peek_time()
-            assert next_time is not None
-            if until is not None and next_time > until:
-                break
-            event = self._queue.pop()
-            self.now = event.time
-            event.action()
-            self.events_processed += 1
-        if until is not None and until > self.now:
-            self.now = until
+        tracer = current_tracer()
+        sample = self.trace_sample_every
+        # Two loop bodies so the untraced hot path carries zero per-event
+        # tracing cost (not even a boolean check).
+        with tracer.span("sim.run", until=until) as span:
+            if not tracer.enabled:
+                while self._queue:
+                    next_time = self._queue.peek_time()
+                    assert next_time is not None
+                    if until is not None and next_time > until:
+                        break
+                    event = self._queue.pop()
+                    self.now = event.time
+                    event.action()
+                    self.events_processed += 1
+            else:
+                while self._queue:
+                    next_time = self._queue.peek_time()
+                    assert next_time is not None
+                    if until is not None and next_time > until:
+                        break
+                    event = self._queue.pop()
+                    self.now = event.time
+                    event.action()
+                    self.events_processed += 1
+                    if self.events_processed % sample == 0:
+                        tracer.event(
+                            "sim.progress",
+                            sim_time=self.now,
+                            processed=self.events_processed,
+                            pending=len(self._queue),
+                        )
+            if until is not None and until > self.now:
+                self.now = until
+            span.set(processed=self.events_processed, sim_time=self.now)
 
     def step(self) -> bool:
         """Process a single event; returns False when the queue is empty."""

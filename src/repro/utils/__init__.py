@@ -1,11 +1,20 @@
-"""Shared utilities: RNG fan-out, metrics, tables, timers, validation."""
+"""Shared utilities: RNG fan-out, metrics, tracing, tables, timers."""
 
 from repro.utils.metrics import (
+    Histogram,
     MetricsRegistry,
     Timer,
     disable_global_metrics,
     enable_global_metrics,
     global_metrics,
+)
+from repro.utils.tracing import (
+    Tracer,
+    current_tracer,
+    disable_global_tracing,
+    enable_global_tracing,
+    global_tracer,
+    read_trace,
 )
 from repro.utils.rng import as_generator, spawn_generators, spawn_seeds
 from repro.utils.tables import format_series, format_table
@@ -19,11 +28,18 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "Histogram",
     "MetricsRegistry",
     "Timer",
     "enable_global_metrics",
     "global_metrics",
     "disable_global_metrics",
+    "Tracer",
+    "current_tracer",
+    "enable_global_tracing",
+    "global_tracer",
+    "disable_global_tracing",
+    "read_trace",
     "as_generator",
     "spawn_generators",
     "spawn_seeds",

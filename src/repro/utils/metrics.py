@@ -1,18 +1,23 @@
-"""Lightweight runtime metrics: counters and wall-clock timers.
+"""Lightweight runtime metrics: counters, timers and histograms.
 
 The experiment harness and the cost kernel are instrumented with a
 :class:`MetricsRegistry` — a plain in-process collection of named
-counters and accumulating timers.  The registry is deliberately tiny:
+counters, accumulating timers and distribution histograms:
 
 * a **counter** is an integer bumped with :meth:`MetricsRegistry.increment`
   (cache hits/misses, evaluation counts);
 * a **timer** accumulates wall-clock seconds, either via
   :meth:`MetricsRegistry.observe` or the :class:`Timer` context manager
-  returned by :meth:`MetricsRegistry.timer`.
+  returned by :meth:`MetricsRegistry.timer`;
+* a **histogram** (:class:`Histogram`) records a value distribution in
+  fixed log-scale buckets (bounded memory regardless of sample count)
+  and reports p50/p95/p99/max; the simulator's read/write latencies go
+  through these.
 
 Registries are cheap to create, picklable through :meth:`snapshot` /
 :meth:`merge_snapshot` (how the process-pool harness ships worker
-metrics back to the parent), and render as an aligned terminal table.
+metrics back to the parent — histograms merge bucket-wise, exactly like
+counters), and render as an aligned terminal table.
 
 A process-wide default registry can be installed with
 :func:`enable_global_metrics`; the experiment harness consults it so a
@@ -22,10 +27,11 @@ a registry through every call site.
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Dict, Optional
 
-#: snapshot type: {"counters": {...}, "timers": {name: {"calls", "total_seconds", "max_seconds"}}}
+#: snapshot type: {"counters": {...}, "timers": {name: {"calls", "total_seconds", "max_seconds"}}, "histograms": {name: {...}}}
 Snapshot = Dict[str, Dict[str, object]]
 
 
@@ -66,6 +72,160 @@ class _NullTimer:
 _NULL_TIMER = _NullTimer()
 
 
+class Histogram:
+    """Log-scale bucketed value distribution with bounded memory.
+
+    Buckets are geometric: bucket ``i`` holds values in
+    ``[MIN_BOUND * GROWTH**i, MIN_BOUND * GROWTH**(i+1))`` with
+    ``GROWTH = 2**0.25`` (four buckets per octave, ~9% worst-case
+    relative error on a percentile).  Values at or below ``MIN_BOUND``
+    (including exact zeros, e.g. local-read latencies) land in a
+    dedicated zero bucket.  Counts are kept sparsely, so an empty or
+    narrow distribution costs a handful of dict entries.
+
+    ``count``/``total``/``min``/``max`` are exact; :meth:`mean` is exact;
+    :meth:`percentile` is bucket-resolution approximate, clamped to the
+    observed min/max.  Two histograms recorded independently and merged
+    with :meth:`merge` are bucket-identical to one histogram fed both
+    streams — that is what lets the parallel harness merge worker
+    latency distributions without shipping raw samples.
+
+    >>> h = Histogram()
+    >>> for v in (1.0, 2.0, 3.0):
+    ...     h.record(v)
+    >>> h.count, round(h.mean(), 3)
+    (3, 2.0)
+    >>> 1.8 < h.percentile(50.0) < 2.2
+    True
+    """
+
+    #: growth factor between bucket bounds (4 buckets per factor of 2)
+    GROWTH = 2.0 ** 0.25
+    #: lower bound of bucket 0; values <= this are "zero"
+    MIN_BOUND = 1e-9
+    #: number of geometric buckets (covers MIN_BOUND .. ~5e12)
+    NUM_BUCKETS = 288
+
+    __slots__ = (
+        "count", "total", "min", "max", "zero_count", "_buckets", "_memo"
+    )
+
+    _LOG_GROWTH = math.log(GROWTH)
+    _LOG_MIN = math.log(MIN_BOUND)
+    #: bound on the value -> bucket memo (distinct values seen)
+    _MEMO_LIMIT = 4096
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.zero_count = 0
+        self._buckets: Dict[int, int] = {}
+        # Recorded values tend to come from a small discrete set (e.g.
+        # simulator latencies = size x unit-cost combinations), so a
+        # bounded value->bucket memo replaces the log() on the hot path.
+        self._memo: Dict[float, int] = {}
+
+    def _index(self, value: float) -> int:
+        idx = int((math.log(value) - self._LOG_MIN) / self._LOG_GROWTH)
+        return min(max(idx, 0), self.NUM_BUCKETS - 1)
+
+    def record(self, value: float, count: int = 1) -> None:
+        """Add ``count`` observations of ``value``."""
+        value = float(value)
+        self.count += count
+        self.total += value * count
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= self.MIN_BOUND:
+            self.zero_count += count
+            return
+        memo = self._memo
+        idx = memo.get(value)
+        if idx is None:
+            idx = self._index(value)
+            if len(memo) < self._MEMO_LIMIT:
+                memo[value] = idx
+        self._buckets[idx] = self._buckets.get(idx, 0) + count
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (bucket midpoint, clamped).
+
+        Accuracy is bounded by the bucket growth factor: the returned
+        value is within ~9% of the true percentile.
+        """
+        if self.count == 0:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must lie in [0, 100], got {q}")
+        # nearest-rank over the bucketed distribution
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        seen = self.zero_count
+        if rank <= seen:
+            return max(0.0, self.min)
+        for idx in sorted(self._buckets):
+            seen += self._buckets[idx]
+            if rank <= seen:
+                midpoint = self.MIN_BOUND * self.GROWTH ** (idx + 0.5)
+                return min(max(midpoint, self.min), self.max)
+        return self.max
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (bucket-wise addition)."""
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self.zero_count += other.zero_count
+        for idx, count in other._buckets.items():
+            self._buckets[idx] = self._buckets.get(idx, 0) + count
+
+    # ---------------------------------------------------------------- #
+    def to_dict(self) -> Dict[str, object]:
+        """A picklable/JSON-able snapshot of the histogram state."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "zero_count": self.zero_count,
+            "buckets": dict(self._buckets),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Histogram":
+        hist = cls()
+        hist.count = int(data.get("count", 0))
+        hist.total = float(data.get("total", 0.0))
+        minimum = data.get("min")
+        maximum = data.get("max")
+        hist.min = math.inf if minimum is None else float(minimum)
+        hist.max = -math.inf if maximum is None else float(maximum)
+        hist.zero_count = int(data.get("zero_count", 0))
+        hist._buckets = {
+            int(idx): int(count)
+            for idx, count in dict(data.get("buckets", {})).items()
+        }
+        return hist
+
+    def summary(self, percentiles=(50.0, 95.0, 99.0)) -> Dict[str, float]:
+        """count/mean/max plus the requested percentiles as a flat dict."""
+        out = {
+            "count": float(self.count),
+            "mean": self.mean(),
+            "max": self.max if self.count else 0.0,
+        }
+        for q in percentiles:
+            out[f"p{q:g}"] = self.percentile(q)
+        return out
+
+
 class MetricsRegistry:
     """Named counters plus accumulating wall-time timers.
 
@@ -83,6 +243,7 @@ class MetricsRegistry:
         self.enabled = enabled
         self._counters: Dict[str, int] = {}
         self._timers: Dict[str, Dict[str, float]] = {}
+        self._histograms: Dict[str, Histogram] = {}
 
     # ------------------------------------------------------------------ #
     # recording
@@ -110,6 +271,19 @@ class MetricsRegistry:
             return _NULL_TIMER
         return Timer(self, name)
 
+    def observe_value(self, name: str, value: float, count: int = 1) -> None:
+        """Record ``value`` into the log-scale histogram ``name``."""
+        if not self.enabled:
+            return
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram()
+        hist.record(value, count)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        """The named histogram, or ``None`` when nothing was recorded."""
+        return self._histograms.get(name)
+
     # ------------------------------------------------------------------ #
     # access / aggregation
     # ------------------------------------------------------------------ #
@@ -121,9 +295,20 @@ class MetricsRegistry:
     def timers(self) -> Dict[str, Dict[str, float]]:
         return {name: dict(entry) for name, entry in self._timers.items()}
 
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
     def snapshot(self) -> Snapshot:
-        """A picklable copy of every counter and timer."""
-        return {"counters": self.counters, "timers": self.timers}
+        """A picklable copy of every counter, timer and histogram."""
+        return {
+            "counters": self.counters,
+            "timers": self.timers,
+            "histograms": {
+                name: hist.to_dict()
+                for name, hist in self._histograms.items()
+            },
+        }
 
     def merge_snapshot(self, snapshot: Snapshot) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
@@ -143,22 +328,48 @@ class MetricsRegistry:
             mine["max_seconds"] = max(
                 mine["max_seconds"], float(entry.get("max_seconds", 0.0))
             )
+        for name, data in snapshot.get("histograms", {}).items():
+            incoming = Histogram.from_dict(data)
+            mine_hist = self._histograms.get(name)
+            if mine_hist is None:
+                self._histograms[name] = incoming
+            else:
+                mine_hist.merge(incoming)
 
     def reset(self) -> None:
         self._counters.clear()
         self._timers.clear()
+        self._histograms.clear()
 
     def render(self, precision: int = 4) -> str:
-        """Counters and timers as an aligned, sorted terminal block."""
+        """Counters, timers and histograms as an aligned terminal block.
+
+        Rendering never mutates and never raises — a disabled (or simply
+        empty) registry renders a stable ``(empty)`` placeholder, so
+        callers can print unconditionally.
+        """
         lines = ["metrics:"]
         for name in sorted(self._counters):
             lines.append(f"  {name} = {self._counters[name]:,}")
         for name in sorted(self._timers):
             entry = self._timers[name]
+            calls = int(entry["calls"])
+            mean = entry["total_seconds"] / calls if calls else 0.0
             lines.append(
-                f"  {name}: calls={int(entry['calls']):,} "
+                f"  {name}: calls={calls:,} "
                 f"total={entry['total_seconds']:.{precision}f}s "
+                f"mean={mean:.{precision}f}s "
                 f"max={entry['max_seconds']:.{precision}f}s"
+            )
+        for name in sorted(self._histograms):
+            hist = self._histograms[name]
+            lines.append(
+                f"  {name}: count={hist.count:,} "
+                f"mean={hist.mean():.{precision}f} "
+                f"p50={hist.percentile(50.0):.{precision}f} "
+                f"p95={hist.percentile(95.0):.{precision}f} "
+                f"p99={hist.percentile(99.0):.{precision}f} "
+                f"max={(hist.max if hist.count else 0.0):.{precision}f}"
             )
         if len(lines) == 1:
             lines.append("  (empty)")
@@ -191,6 +402,7 @@ def disable_global_metrics() -> None:
 
 
 __all__ = [
+    "Histogram",
     "MetricsRegistry",
     "Timer",
     "Snapshot",

@@ -1,0 +1,490 @@
+"""Structured tracing: nested spans, point events, bounded recording.
+
+Aggregate metrics (:mod:`repro.utils.metrics`) answer *how much*; this
+module answers *when* and *why*.  A :class:`Tracer` records
+
+* **spans** — named intervals with a monotonic start/end, a parent span
+  id (spans nest via a per-tracer stack) and arbitrary key-value
+  attributes.  The GRA engine opens one span per generation, the cost
+  kernel one per batched evaluation, the harness one per task;
+* **events** — point-in-time markers attached to the enclosing span
+  (SRA placements, AGRA allocate/deallocate decisions, sampled
+  simulator progress).
+
+Records land in an in-memory ring buffer of bounded capacity: tracing a
+long run costs O(capacity) memory, and once the buffer wraps, the oldest
+records are discarded and a ``dropped`` count is carried into every
+export so truncation is never silent.
+
+Traces export as JSONL (one record per line, ``meta`` line first) or as
+the Chrome ``trace_event`` JSON format, loadable in Perfetto or
+``chrome://tracing``.  :func:`read_trace` loads either format back.
+
+Worker processes record into their own tracers; the parallel harness
+ships :meth:`Tracer.snapshot` back over pickle and the parent calls
+:meth:`Tracer.merge_snapshot` with a parent span id, which re-parents
+the worker's root spans under the parent run and remaps span ids into
+the parent's id space deterministically (merge order decides ids, and
+the harness merges in task order).
+
+A process-wide tracer is installed with :func:`enable_global_tracing`
+(the CLI ``--trace`` flag does this); instrumented call sites fetch it
+via :func:`current_tracer`, which returns a shared *disabled* tracer
+when tracing is off, so the hot paths pay one attribute check and
+nothing else.
+
+Span timestamps are ``time.perf_counter`` deltas re-based onto the wall
+clock at tracer creation: monotonic within a process, and comparable
+across the processes of one parallel sweep up to OS clock skew.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from typing import Deque, Dict, IO, Iterable, List, Optional, Union
+
+from repro.errors import ValidationError
+
+#: default ring-buffer capacity (records, spans and events combined)
+DEFAULT_CAPACITY = 200_000
+
+#: export formats accepted by :meth:`Tracer.write`
+FORMAT_JSONL = "jsonl"
+FORMAT_CHROME = "chrome"
+FORMATS = (FORMAT_JSONL, FORMAT_CHROME)
+
+#: record type tags
+SPAN = "span"
+EVENT = "event"
+META = "meta"
+
+#: a trace record: plain dict, JSON- and pickle-friendly
+Record = Dict[str, object]
+
+
+class _SpanHandle:
+    """An open span: context manager handed out by :meth:`Tracer.span`.
+
+    ``set(**attrs)`` attaches attributes while the span is open; the
+    record is appended to the ring buffer when the span closes.
+    """
+
+    __slots__ = ("_tracer", "id", "parent_id", "name", "attrs", "_start")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: Dict[str, object],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.id = -1
+        self.parent_id: Optional[int] = None
+        self._start = 0.0
+
+    def set(self, **attrs: object) -> "_SpanHandle":
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        tracer = self._tracer
+        self.id = tracer._allocate_id()
+        stack = tracer._stack
+        self.parent_id = stack[-1].id if stack else None
+        stack.append(self)
+        self._start = tracer._now()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        tracer = self._tracer
+        end = tracer._now()
+        stack = tracer._stack
+        # Tolerate mispaired exits (an inner span leaked by an exception):
+        # unwind to and including this span.
+        while stack:
+            top = stack.pop()
+            if top is self:
+                break
+        tracer._append(
+            {
+                "type": SPAN,
+                "id": self.id,
+                "parent": self.parent_id,
+                "name": self.name,
+                "start": self._start,
+                "end": end,
+                "pid": tracer.pid,
+                "attrs": self.attrs,
+            }
+        )
+
+
+class _NullSpan:
+    """Shared no-op span used when tracing is disabled."""
+
+    __slots__ = ()
+    id = -1
+    parent_id = None
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Nested spans and events in a bounded in-memory ring buffer.
+
+    >>> tracer = Tracer()
+    >>> with tracer.span("outer", phase="demo"):
+    ...     with tracer.span("inner"):
+    ...         tracer.event("tick", n=1)
+    >>> [r["name"] for r in tracer.records()]
+    ['tick', 'inner', 'outer']
+
+    Spans are recorded when they *close*, so children precede parents in
+    the buffer; :func:`build_tree` in :mod:`repro.utils.trace_summary`
+    reconstructs the hierarchy from parent ids.
+    """
+
+    def __init__(
+        self, capacity: int = DEFAULT_CAPACITY, enabled: bool = True
+    ) -> None:
+        if capacity < 1:
+            raise ValidationError(f"capacity must be >= 1, got {capacity}")
+        self.enabled = enabled
+        self.capacity = capacity
+        self.pid = os.getpid()
+        self.dropped = 0
+        self._buffer: Deque[Record] = deque(maxlen=capacity)
+        self._stack: List[_SpanHandle] = []
+        self._next_id = 0
+        # perf_counter deltas re-based onto the wall clock: monotonic in
+        # this process, comparable across the processes of one sweep.
+        self._wall0 = time.time()
+        self._perf0 = time.perf_counter()
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def _now(self) -> float:
+        return self._wall0 + (time.perf_counter() - self._perf0)
+
+    def _allocate_id(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def _append(self, record: Record) -> None:
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
+        self._buffer.append(record)
+
+    def span(self, name: str, **attrs: object):
+        """Open a nested span; use as a context manager."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _SpanHandle(self, name, attrs)
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Record a point-in-time event under the current span."""
+        if not self.enabled:
+            return
+        stack = self._stack
+        self._append(
+            {
+                "type": EVENT,
+                "id": self._allocate_id(),
+                "parent": stack[-1].id if stack else None,
+                "name": name,
+                "time": self._now(),
+                "pid": self.pid,
+                "attrs": attrs,
+            }
+        )
+
+    @property
+    def current_span_id(self) -> Optional[int]:
+        """Id of the innermost open span, if any."""
+        return self._stack[-1].id if self._stack else None
+
+    # ------------------------------------------------------------------ #
+    # access / aggregation
+    # ------------------------------------------------------------------ #
+    def records(self) -> List[Record]:
+        """A copy of the buffered records, oldest first."""
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def reset(self) -> None:
+        self._buffer.clear()
+        self._stack.clear()
+        self.dropped = 0
+        self._next_id = 0
+
+    def snapshot(self) -> Record:
+        """A picklable copy of the buffer (how workers ship traces back)."""
+        return {
+            "records": [dict(r) for r in self._buffer],
+            "dropped": self.dropped,
+            "pid": self.pid,
+        }
+
+    def merge_snapshot(
+        self,
+        snapshot: Record,
+        parent_id: Optional[int] = None,
+    ) -> Dict[int, int]:
+        """Fold a worker's :meth:`snapshot` into this tracer.
+
+        Worker span/event ids are remapped into this tracer's id space
+        (allocation follows record order, so merging the same snapshots
+        in the same order yields the same ids), and records whose parent
+        is unknown — the worker's root spans — are re-parented under
+        ``parent_id``.  Returns the id remap table.
+        """
+        remap: Dict[int, int] = {}
+        records = [dict(record) for record in snapshot.get("records", [])]
+        # Two passes: spans close child-before-parent, so a child record
+        # precedes its parent in the buffer — every id must be allocated
+        # before any parent link can be resolved.
+        for record in records:
+            old_id = record.get("id")
+            if isinstance(old_id, int):
+                remap[old_id] = record["id"] = self._allocate_id()
+        for record in records:
+            parent = record.get("parent")
+            if isinstance(parent, int) and parent in remap:
+                record["parent"] = remap[parent]
+            else:
+                # root (or truncated-away parent): hang under parent_id
+                record["parent"] = parent_id
+            self._append(record)
+        self.dropped += int(snapshot.get("dropped", 0))
+        return remap
+
+    # ------------------------------------------------------------------ #
+    # export
+    # ------------------------------------------------------------------ #
+    def _meta(self) -> Record:
+        return {
+            "type": META,
+            "version": 1,
+            "pid": self.pid,
+            "records": len(self._buffer),
+            "dropped": self.dropped,
+        }
+
+    def write_jsonl(self, fp: IO[str]) -> None:
+        """One JSON record per line; a ``meta`` line (dropped count) first."""
+        fp.write(json.dumps(self._meta()) + "\n")
+        for record in self._buffer:
+            fp.write(json.dumps(record) + "\n")
+
+    def write_chrome(self, fp: IO[str]) -> None:
+        """Chrome ``trace_event`` JSON (Perfetto / ``chrome://tracing``).
+
+        Spans become complete (``ph="X"``) events with microsecond
+        timestamps; events become instant (``ph="i"``) events.  The span
+        id and parent id ride along in ``args`` so the exact tree
+        round-trips through :func:`read_trace`.
+        """
+        json.dump(
+            {
+                "traceEvents": [
+                    _record_to_chrome(record) for record in self._buffer
+                ],
+                "displayTimeUnit": "ms",
+                "otherData": self._meta(),
+            },
+            fp,
+        )
+
+    def write(self, path: str, format: str = FORMAT_JSONL) -> str:
+        """Write the trace to ``path`` in ``format``; returns the path."""
+        if format not in FORMATS:
+            raise ValidationError(
+                f"trace format must be one of {FORMATS}, got {format!r}"
+            )
+        with open(path, "w", encoding="utf-8") as fp:
+            if format == FORMAT_CHROME:
+                self.write_chrome(fp)
+            else:
+                self.write_jsonl(fp)
+        return path
+
+
+def _record_to_chrome(record: Record) -> Record:
+    args = dict(record.get("attrs") or {})
+    args["id"] = record.get("id")
+    if record.get("parent") is not None:
+        args["parent"] = record.get("parent")
+    if record["type"] == SPAN:
+        start = float(record["start"])
+        return {
+            "name": record["name"],
+            "cat": SPAN,
+            "ph": "X",
+            "ts": start * 1e6,
+            "dur": (float(record["end"]) - start) * 1e6,
+            "pid": record.get("pid", 0),
+            "tid": record.get("pid", 0),
+            "args": args,
+        }
+    return {
+        "name": record["name"],
+        "cat": EVENT,
+        "ph": "i",
+        "s": "t",
+        "ts": float(record["time"]) * 1e6,
+        "pid": record.get("pid", 0),
+        "tid": record.get("pid", 0),
+        "args": args,
+    }
+
+
+def _chrome_to_record(entry: Record) -> Optional[Record]:
+    args = dict(entry.get("args") or {})
+    span_id = args.pop("id", None)
+    parent = args.pop("parent", None)
+    common = {
+        "id": span_id,
+        "parent": parent,
+        "name": entry.get("name", ""),
+        "pid": entry.get("pid", 0),
+        "attrs": args,
+    }
+    if entry.get("ph") == "X":
+        start = float(entry.get("ts", 0.0)) / 1e6
+        return {
+            "type": SPAN,
+            "start": start,
+            "end": start + float(entry.get("dur", 0.0)) / 1e6,
+            **common,
+        }
+    if entry.get("ph") == "i":
+        return {
+            "type": EVENT,
+            "time": float(entry.get("ts", 0.0)) / 1e6,
+            **common,
+        }
+    return None  # other phase types (metadata etc.) are not ours
+
+
+def read_trace(path: str) -> Dict[str, object]:
+    """Load a trace file written by :meth:`Tracer.write` (either format).
+
+    Returns ``{"records": [...], "dropped": int}`` with records in the
+    original buffer order.  The format is sniffed from the content: a
+    JSON object with ``traceEvents`` is Chrome format, anything else is
+    JSONL.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            content = fp.read()
+    except FileNotFoundError:
+        raise ValidationError(f"no such file: {path}") from None
+    stripped = content.lstrip()
+    if stripped.startswith("{") and '"traceEvents"' in stripped[:2000]:
+        try:
+            data = json.loads(content)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(
+                f"{path} is not a valid trace file: {exc}"
+            ) from None
+        records = [
+            rec
+            for rec in (
+                _chrome_to_record(e) for e in data.get("traceEvents", [])
+            )
+            if rec is not None
+        ]
+        dropped = int(
+            (data.get("otherData") or {}).get("dropped", 0)
+        )
+        return {"records": records, "dropped": dropped}
+    records: List[Record] = []
+    dropped = 0
+    for line in content.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(
+                f"{path} is not a valid trace file: {exc}"
+            ) from None
+        if record.get("type") == META:
+            dropped = int(record.get("dropped", 0))
+            continue
+        records.append(record)
+    return {"records": records, "dropped": dropped}
+
+
+# --------------------------------------------------------------------- #
+# optional process-wide tracer (CLI --trace)
+# --------------------------------------------------------------------- #
+_GLOBAL: Optional[Tracer] = None
+_DISABLED = Tracer(capacity=1, enabled=False)
+
+
+def enable_global_tracing(capacity: int = DEFAULT_CAPACITY) -> Tracer:
+    """Install (or return the existing) process-wide tracer."""
+    global _GLOBAL
+    if _GLOBAL is None:
+        _GLOBAL = Tracer(capacity=capacity)
+    return _GLOBAL
+
+
+def global_tracer() -> Optional[Tracer]:
+    """The process-wide tracer, or ``None`` when tracing is off."""
+    return _GLOBAL
+
+
+def disable_global_tracing() -> None:
+    """Remove the process-wide tracer (workers do this between tasks)."""
+    global _GLOBAL
+    _GLOBAL = None
+
+
+def current_tracer() -> Tracer:
+    """The global tracer, or a shared disabled tracer when tracing is off.
+
+    Instrumented call sites use this so the disabled path costs one
+    global load plus one ``enabled`` check — no allocation, no branches
+    in the caller.
+    """
+    return _GLOBAL if _GLOBAL is not None else _DISABLED
+
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "FORMAT_JSONL",
+    "FORMAT_CHROME",
+    "FORMATS",
+    "SPAN",
+    "EVENT",
+    "META",
+    "Record",
+    "Tracer",
+    "read_trace",
+    "enable_global_tracing",
+    "global_tracer",
+    "disable_global_tracing",
+    "current_tracer",
+]

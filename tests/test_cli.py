@@ -97,3 +97,78 @@ def test_missing_file_is_clean_error(capsys):
 def test_figures_delegates(capsys):
     assert main(["figures"]) == 2  # no figure selected: help + exit 2
     assert "repro-experiments" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------- #
+# --trace / repro trace
+# --------------------------------------------------------------------- #
+def test_solve_trace_gra_spans_match_history(instance_file, tmp_path, capsys):
+    from repro.utils.tracing import global_tracer, read_trace
+
+    trace_path = tmp_path / "gra.trace.json"
+    assert main([
+        "solve", str(instance_file), "--algorithm", "gra",
+        "--generations", "5", "--seed", "1",
+        "--trace", str(trace_path), "--trace-format", "chrome",
+    ]) == 0
+    assert "trace written" in capsys.readouterr().out
+    assert global_tracer() is None  # the CLI cleans up after itself
+    records = read_trace(str(trace_path))["records"]
+    generations = [r for r in records if r["name"] == "gra.generation"]
+    # 5 generations + the seeded population = 6 spans, one per
+    # best_fitness_history entry
+    assert len(generations) == 6
+    assert sorted(r["attrs"]["index"] for r in generations) == list(range(6))
+    assert all("best" in r["attrs"] for r in generations)
+
+
+def test_trace_subcommand_renders_convergence(instance_file, tmp_path, capsys):
+    trace_path = tmp_path / "gra.trace.jsonl"
+    main([
+        "solve", str(instance_file), "--algorithm", "gra",
+        "--generations", "4", "--seed", "1", "--trace", str(trace_path),
+    ])
+    capsys.readouterr()
+    assert main(["trace", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "GRA convergence" in out
+    assert "top spans by self time" in out
+    assert "gra.generation" in out
+
+
+def test_simulate_trace_and_latency_summary(instance_file, tmp_path, capsys):
+    from repro.utils.tracing import read_trace
+
+    scheme_path = tmp_path / "scheme.json"
+    main([
+        "solve", str(instance_file), "--algorithm", "sra",
+        "--save-scheme", str(scheme_path),
+    ])
+    capsys.readouterr()
+    trace_path = tmp_path / "sim.trace.jsonl"
+    assert main([
+        "simulate", str(scheme_path), "--duration", "0.5", "--seed", "2",
+        "--trace", str(trace_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "read_p95" in out
+    assert "write_p99" in out
+    records = read_trace(str(trace_path))["records"]
+    assert any(r["name"] == "sim.run" for r in records)
+
+
+def test_compare_trace(tmp_path, capsys):
+    from repro.utils.tracing import read_trace
+
+    trace_path = tmp_path / "cmp.trace.jsonl"
+    assert main([
+        "compare", "--sites", "8", "--objects", "10", "--instances", "2",
+        "--algorithm", "sra", "--trace", str(trace_path),
+    ]) == 0
+    assert "best by mean savings" in capsys.readouterr().out
+    records = read_trace(str(trace_path))["records"]
+    assert any(r["name"] == "sra.solve" for r in records)
+
+
+def test_trace_subcommand_missing_file_is_clean_error(capsys):
+    assert main(["trace", "no-such-trace.jsonl"]) != 0

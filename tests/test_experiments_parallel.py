@@ -213,3 +213,100 @@ def test_serial_runner_needs_no_executor():
     )
     reference = average_static_runs(SPEC, FACTORIES, instances=2, seed=43)
     assert _deterministic_fields(averages) == _deterministic_fields(reference)
+
+
+# --------------------------------------------------------------------- #
+# tracing across workers
+# --------------------------------------------------------------------- #
+def _trace_shape(tracer):
+    return [
+        (r["id"], r["parent"], r["name"]) for r in tracer.records()
+    ]
+
+
+def test_worker_traces_reparented_under_sweep_root():
+    from repro.utils.tracing import (
+        disable_global_tracing,
+        enable_global_tracing,
+    )
+
+    disable_global_tracing()
+    tracer = enable_global_tracing()
+    try:
+        ParallelRunner(max_workers=2).average_static_runs(
+            SPEC, FACTORIES, instances=2, seed=7
+        )
+        records = tracer.records()
+        roots = [
+            r for r in records if r["name"] == "harness.average_static_runs"
+        ]
+        tasks = [r for r in records if r["name"] == "harness.task"]
+        assert len(roots) == 1
+        # one task span per (instance x algorithm) cell, all under the root
+        assert len(tasks) == len(FACTORIES) * 2
+        assert all(t["parent"] == roots[0]["id"] for t in tasks)
+        # worker pids differ from the parent's
+        assert len({r["pid"] for r in records}) >= 2
+        # inner algorithm spans survived the merge and nest under tasks
+        task_ids = {t["id"] for t in tasks}
+        solves = [
+            r
+            for r in records
+            if r["name"] in ("sra.solve", "gra.evolve")
+            and r["parent"] in task_ids
+        ]
+        assert len(solves) >= len(tasks)
+        ids = [r["id"] for r in records]
+        assert len(ids) == len(set(ids))
+    finally:
+        disable_global_tracing()
+
+
+def test_worker_trace_merge_is_deterministic():
+    from repro.utils.tracing import (
+        disable_global_tracing,
+        enable_global_tracing,
+    )
+
+    shapes = []
+    for _ in range(2):
+        disable_global_tracing()
+        tracer = enable_global_tracing()
+        try:
+            ParallelRunner(max_workers=2).average_static_runs(
+                SPEC, FACTORIES, instances=2, seed=7
+            )
+            shapes.append(_trace_shape(tracer))
+        finally:
+            disable_global_tracing()
+    assert shapes[0] == shapes[1]
+
+
+def test_serial_run_traces_inline_without_duplication():
+    from repro.utils.tracing import (
+        disable_global_tracing,
+        enable_global_tracing,
+    )
+
+    disable_global_tracing()
+    tracer = enable_global_tracing()
+    try:
+        ParallelRunner(max_workers=1).average_static_runs(
+            SPEC, FACTORIES, instances=2, seed=7
+        )
+        tasks = [
+            r for r in tracer.records() if r["name"] == "harness.task"
+        ]
+        assert len(tasks) == len(FACTORIES) * 2
+    finally:
+        disable_global_tracing()
+
+
+def test_no_tracing_no_task_spans():
+    from repro.utils.tracing import global_tracer
+
+    assert global_tracer() is None
+    averages = ParallelRunner(max_workers=1).average_static_runs(
+        SPEC, FACTORIES, instances=1, seed=7
+    )
+    assert set(averages) == set(FACTORIES)

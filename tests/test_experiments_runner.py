@@ -82,3 +82,21 @@ def test_main_parallel_flag_resets_default(monkeypatch, capsys):
     # configure(None) restored on exit
     assert resolve_max_workers() == 1
     clear_cache()
+
+
+def test_main_trace_flag_writes_trace(monkeypatch, capsys, tmp_path):
+    import repro.experiments.runner as runner_mod
+    from repro.utils.tracing import global_tracer, read_trace
+
+    monkeypatch.setattr(runner_mod, "get_profile", lambda name="": MICRO)
+    trace_path = tmp_path / "sweep.trace.jsonl"
+    assert main([
+        "--figure", "fig3a", "--seed", "9", "--trace", str(trace_path),
+    ]) == 0
+    assert "trace written" in capsys.readouterr().out
+    # the flag must not leak a process-wide tracer past main()
+    assert global_tracer() is None
+    records = read_trace(str(trace_path))["records"]
+    names = {r["name"] for r in records}
+    assert "harness.average_static_runs" in names
+    assert "harness.task" in names

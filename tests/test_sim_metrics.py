@@ -50,9 +50,33 @@ def test_latency_statistics():
     for value in (1.0, 2.0, 3.0):
         metrics.record_read_latency(value)
     metrics.record_write_latency(10.0)
+    # Means are exact (the histogram tracks sum/count separately);
+    # percentiles are bucket-resolution estimates (~9% relative).
     assert metrics.mean_read_latency() == pytest.approx(2.0)
     assert metrics.mean_write_latency() == pytest.approx(10.0)
-    assert metrics.percentile_read_latency(50.0) == pytest.approx(2.0)
+    assert metrics.percentile_read_latency(50.0) == pytest.approx(2.0, rel=0.1)
+
+
+def test_latency_summary_keys():
+    metrics = SimulationMetrics(num_sites=2, num_objects=1)
+    for value in (1.0, 2.0, 4.0, 8.0):
+        metrics.record_read_latency(value)
+    metrics.record_write_latency(3.0)
+    summary = metrics.latency_summary()
+    assert summary["read_count"] == pytest.approx(4.0)
+    assert summary["write_count"] == pytest.approx(1.0)
+    assert summary["read_mean"] == pytest.approx(3.75)
+    assert summary["read_p50"] <= summary["read_p95"] <= summary["read_p99"]
+    assert summary["write_p99"] == pytest.approx(3.0, rel=0.1)
+
+
+def test_latency_storage_is_bounded():
+    metrics = SimulationMetrics(num_sites=2, num_objects=1)
+    for i in range(10_000):
+        metrics.record_read_latency(0.5 + (i % 100))
+    # Histogram-backed: bucket count is bounded regardless of samples.
+    assert metrics.read_latencies.count == 10_000
+    assert len(metrics.read_latencies._buckets) < 64
 
 
 def test_local_reads_zero_latency():

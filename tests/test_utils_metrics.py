@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.utils.metrics import (
+    Histogram,
     MetricsRegistry,
     disable_global_metrics,
     enable_global_metrics,
@@ -98,6 +99,115 @@ def test_render_contains_everything():
 
 def test_render_empty():
     assert "(empty)" in MetricsRegistry().render()
+
+
+def test_histogram_exact_stats():
+    hist = Histogram()
+    for value in (1.0, 2.0, 4.0, 8.0):
+        hist.record(value)
+    assert hist.count == 4
+    assert hist.mean() == pytest.approx(3.75)
+    assert hist.min == pytest.approx(1.0)
+    assert hist.max == pytest.approx(8.0)
+
+
+def test_histogram_percentiles_within_bucket_resolution():
+    hist = Histogram()
+    for i in range(1, 1001):
+        hist.record(float(i))
+    # log-scale buckets: ~9% worst-case relative error
+    assert hist.percentile(50.0) == pytest.approx(500.0, rel=0.1)
+    assert hist.percentile(95.0) == pytest.approx(950.0, rel=0.1)
+    assert hist.percentile(99.0) == pytest.approx(990.0, rel=0.1)
+    assert hist.percentile(0.0) == pytest.approx(hist.min)
+    assert hist.percentile(100.0) == pytest.approx(hist.max)
+
+
+def test_histogram_zero_and_empty():
+    hist = Histogram()
+    assert hist.mean() == 0.0
+    assert hist.percentile(50.0) == 0.0
+    hist.record(0.0)
+    hist.record(0.0)
+    assert hist.percentile(99.0) == 0.0
+    assert hist.mean() == 0.0
+    with pytest.raises(Exception):
+        hist.percentile(101.0)
+
+
+def test_histogram_merge_equals_single_process():
+    values = [0.0, 0.5, 1.0, 3.0, 3.0, 10.0, 250.0, 1e-12]
+    merged = Histogram()
+    part_a, part_b = Histogram(), Histogram()
+    single = Histogram()
+    for i, value in enumerate(values):
+        single.record(value)
+        (part_a if i % 2 == 0 else part_b).record(value)
+    merged.merge(part_a)
+    merged.merge(part_b)
+    assert merged.count == single.count
+    assert merged.total == pytest.approx(single.total)
+    assert merged.min == pytest.approx(single.min)
+    assert merged.max == pytest.approx(single.max)
+    assert merged.zero_count == single.zero_count
+    assert merged._buckets == single._buckets
+    for q in (50.0, 95.0, 99.0):
+        assert merged.percentile(q) == pytest.approx(single.percentile(q))
+
+
+def test_histogram_dict_round_trip():
+    hist = Histogram()
+    for value in (0.0, 1.5, 40.0):
+        hist.record(value)
+    clone = Histogram.from_dict(hist.to_dict())
+    assert clone.count == hist.count
+    assert clone.mean() == pytest.approx(hist.mean())
+    assert clone._buckets == hist._buckets
+    empty = Histogram.from_dict(Histogram().to_dict())
+    assert empty.count == 0
+    assert empty.percentile(50.0) == 0.0
+
+
+def test_registry_histograms_snapshot_and_merge():
+    a = MetricsRegistry()
+    a.observe_value("latency", 1.0)
+    b = MetricsRegistry()
+    b.observe_value("latency", 4.0)
+    b.observe_value("queue", 2.0)
+    a.merge_snapshot(b.snapshot())
+    assert a.histogram("latency").count == 2
+    assert a.histogram("latency").mean() == pytest.approx(2.5)
+    assert a.histogram("queue").count == 1
+    assert a.histogram("missing") is None
+
+
+def test_registry_histograms_respect_disabled_and_reset():
+    disabled = MetricsRegistry(enabled=False)
+    disabled.observe_value("latency", 1.0)
+    assert disabled.histograms == {}
+    registry = MetricsRegistry()
+    registry.observe_value("latency", 1.0)
+    registry.reset()
+    assert registry.histograms == {}
+
+
+def test_render_includes_mean_column_and_histograms():
+    registry = MetricsRegistry()
+    registry.observe("solve", 1.0)
+    registry.observe("solve", 3.0)
+    registry.observe_value("latency", 5.0)
+    text = registry.render()
+    assert "mean=" in text
+    assert "latency" in text
+    assert "p95=" in text
+
+
+def test_render_stable_when_disabled():
+    registry = MetricsRegistry(enabled=False)
+    registry.increment("hits")
+    registry.observe("solve", 1.0)
+    registry.observe_value("latency", 5.0)
+    assert "(empty)" in registry.render()
 
 
 def test_global_registry_lifecycle():

@@ -1,0 +1,156 @@
+"""The ``repro trace`` analysis layer: aggregation and rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.gra.engine import GRA
+from repro.algorithms.gra.params import GAParams
+from repro.core.cost import CostModel
+from repro.utils.trace_summary import (
+    agra_decisions,
+    build_tree,
+    gra_convergence,
+    phase_breakdown,
+    render_summary,
+    self_time_by_name,
+    summarize,
+)
+from repro.utils.tracing import (
+    Tracer,
+    disable_global_tracing,
+    enable_global_tracing,
+)
+from repro.workload.generator import generate_instance
+from repro.workload.spec import WorkloadSpec
+
+
+@pytest.fixture(autouse=True)
+def _no_global_tracer():
+    disable_global_tracing()
+    yield
+    disable_global_tracing()
+
+
+def _gra_trace(tmp_path, generations=5):
+    """Run a small GRA solve under tracing; returns (path, result)."""
+    tracer = enable_global_tracing()
+    instance = generate_instance(
+        WorkloadSpec(num_sites=8, num_objects=12), rng=11
+    )
+    model = CostModel(instance)
+    result = GRA(
+        GAParams(population_size=10, generations=generations), rng=3
+    ).run(instance, model)
+    path = str(tmp_path / "gra.jsonl")
+    tracer.write(path)
+    disable_global_tracing()
+    return path, result
+
+
+def test_gra_convergence_matches_history(tmp_path):
+    path, result = _gra_trace(tmp_path, generations=5)
+    summary = summarize(path)
+    rows = gra_convergence(summary)
+    history = result.stats["best_fitness_history"]
+    # one gra.generation span per history entry (index 0 = seeding)
+    assert len(rows) == len(history) == 6
+    assert [row["generation"] for row in rows] == list(range(6))
+    for row, best in zip(rows, history):
+        assert row["best_fitness"] == pytest.approx(best)
+        assert row["seconds"] >= 0.0
+    means = result.stats["mean_fitness_history"]
+    for row, mean in zip(rows, means):
+        assert row["mean_fitness"] == pytest.approx(mean)
+
+
+def test_render_summary_shows_convergence_table(tmp_path):
+    path, _ = _gra_trace(tmp_path)
+    text = render_summary(summarize(path))
+    assert "GRA convergence" in text
+    assert "top spans by self time" in text
+    assert "gra.generation" in text
+    assert "DROPPED" not in text
+
+
+def test_render_summary_warns_on_truncation():
+    tracer = Tracer(capacity=2)
+    for i in range(6):
+        tracer.event("e", i=i)
+    summary = build_tree(tracer.records())
+    summary.dropped = tracer.dropped
+    text = render_summary(summary)
+    assert "DROPPED" in text
+    assert "4" in text
+
+
+def test_render_summary_empty_trace():
+    summary = build_tree([])
+    assert "(empty trace)" in render_summary(summary)
+
+
+def test_self_time_by_name_ranks_leaves_above_containers():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            x = 0
+            for i in range(20_000):
+                x += i
+    rows = self_time_by_name(build_tree(tracer.records()))
+    assert rows[0]["name"] == "inner"
+    by_name = {row["name"]: row for row in rows}
+    assert by_name["outer"]["self"] <= by_name["outer"]["total"]
+    assert by_name["inner"]["calls"] == 1
+
+
+def test_phase_breakdown_counts_roots_only():
+    tracer = Tracer()
+    for _ in range(3):
+        with tracer.span("phase.a"):
+            with tracer.span("nested"):
+                pass
+    with tracer.span("phase.b"):
+        pass
+    rows = phase_breakdown(build_tree(tracer.records()))
+    assert {row["name"]: row["calls"] for row in rows} == {
+        "phase.a": 3,
+        "phase.b": 1,
+    }
+
+
+def test_agra_decisions_collected_in_time_order():
+    tracer = Tracer()
+    with tracer.span("agra.adapt"):
+        tracer.event("agra.allocate", obj=3, replicas_after=2)
+        tracer.event("agra.deallocate", site=1, obj=0, estimate=4.5)
+        tracer.event("sim.progress", processed=10)  # not a decision
+    decisions = agra_decisions(build_tree(tracer.records()))
+    assert [d["name"] for d in decisions] == [
+        "agra.allocate",
+        "agra.deallocate",
+    ]
+    times = [d["time"] for d in decisions]
+    assert times == sorted(times)
+
+
+def test_agra_engine_emits_decision_events():
+    from repro.algorithms.agra.engine import AGRA
+    from repro.algorithms.agra.params import AGRAParams
+    from repro.core.scheme import ReplicationScheme
+
+    tracer = enable_global_tracing()
+    instance = generate_instance(
+        WorkloadSpec(num_sites=6, num_objects=10), rng=5
+    )
+    current = ReplicationScheme.primary_only(instance)
+    agra = AGRA(
+        params=AGRAParams(population_size=6, generations=10), rng=2
+    )
+    agra.adapt(instance, current, changed_objects=[1, 4])
+    summary = build_tree(tracer.records())
+    decisions = agra_decisions(summary)
+    allocations = [d for d in decisions if d["name"] == "agra.allocate"]
+    assert {d["attrs"]["obj"] for d in allocations} == {1, 4}
+    assert any(node.name == "agra.adapt" for node in summary.roots)
+    disable_global_tracing()
