@@ -63,7 +63,7 @@ from repro.io import (
     save_instance,
     save_scheme,
 )
-from repro.sim import ReplicaSystem, Simulator
+from repro.sim import FaultInjector, ReplicaSystem, Simulator, load_fault_plan
 from repro.utils.tracing import (
     FORMAT_JSONL,
     FORMATS,
@@ -179,6 +179,13 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("scheme")
     simulate.add_argument("--duration", type=float, default=1.0)
     simulate.add_argument("--seed", type=int, default=None)
+    simulate.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help="inject faults from a JSON fault plan during the replay "
+        "(see docs/fault_injection.md)",
+    )
     _add_trace_args(simulate)
 
     compare = sub.add_parser(
@@ -200,6 +207,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="print cost-kernel cache counters and per-phase timers",
+    )
+    compare.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help="additionally replay each algorithm's schemes under this "
+        "fault plan and report degraded-mode NTC and rejections",
     )
     _add_trace_args(compare)
 
@@ -285,15 +299,30 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     trace = generate_trace(instance, duration=args.duration, rng=args.seed)
     system = ReplicaSystem(instance, scheme)
     simulator = Simulator()
+    plan = load_fault_plan(args.faults) if args.faults else None
+    injector: Optional[FaultInjector] = None
+    if plan is not None:
+        injector = FaultInjector(plan)
+        # Install before attach: a fault transition at time t must apply
+        # before requests scheduled at the same t (insertion order
+        # breaks ties in the event queue).
+        injector.install(simulator, system)
     system.attach(simulator, trace)
     with _tracing(args):
         simulator.run()
     analytic = CostModel(instance).total_cost(scheme.matrix)
     measured = system.metrics.request_ntc
+    faults_active = plan is not None and not plan.is_empty
     print(f"requests replayed: {len(trace):,}")
     print(f"measured NTC:      {measured:,.2f}")
     print(f"analytic D(X):     {analytic:,.2f}")
-    print(f"exact match:       {abs(measured - analytic) < 1e-6}")
+    if faults_active:
+        # The analytic model assumes a healthy network; under injected
+        # faults a mismatch is expected, not a bug.
+        print(f"exact match:       n/a ({injector.events_applied} fault "
+              "events applied)")
+    else:
+        print(f"exact match:       {abs(measured - analytic) < 1e-6}")
     for key, value in sorted(system.metrics.summary().items()):
         print(f"  {key} = {value:,.3f}")
     print("latency percentiles:")
@@ -324,8 +353,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             report = compare_algorithms(
                 instances, factories, seed=args.seed + 1
             )
-        print(report.render())
-        print(f"\nbest by mean savings: {report.best_algorithm()}")
+            print(report.render())
+            print(f"\nbest by mean savings: {report.best_algorithm()}")
+            if args.faults:
+                _fault_replay_section(
+                    instances, factories, args.faults, args.seed
+                )
         if registry is not None:
             print()
             print(registry.render())
@@ -333,6 +366,60 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     finally:
         if registry is not None and not had_metrics:
             disable_global_metrics()
+
+
+def _fault_replay_section(
+    instances, factories, faults_path: str, seed: int
+) -> None:
+    """Replay every algorithm's schemes under a fault plan; print means.
+
+    Each (algorithm, instance) cell re-solves with its own derived seed,
+    generates the instance's request trace and replays it through a
+    fresh :class:`FaultInjector` — so the table shows how each
+    algorithm's placements hold up when the network degrades.
+    """
+    from repro.utils.rng import spawn_seeds
+    from repro.utils.tables import format_table
+
+    plan = load_fault_plan(faults_path)
+    rows = []
+    labels = list(factories)
+    run_seeds = spawn_seeds(seed + 2, len(instances) * len(labels) * 2)
+    idx = 0
+    for label in labels:
+        ntcs, rejected, fault_events = [], [], 0
+        for instance in instances:
+            algorithm = factories[label](run_seeds[idx])
+            trace_seed = run_seeds[idx + 1]
+            idx += 2
+            result = algorithm.run(instance)
+            trace = generate_trace(instance, rng=trace_seed)
+            system = ReplicaSystem(instance, result.scheme)
+            injector = FaultInjector(plan)
+            system.replay(trace, injector=injector)
+            metrics = system.metrics
+            ntcs.append(metrics.request_ntc)
+            rejected.append(
+                float(metrics.rejected_reads + metrics.rejected_writes)
+            )
+            fault_events += injector.events_applied
+        rows.append(
+            [
+                label,
+                float(np.mean(ntcs)),
+                float(np.mean(rejected)),
+                float(fault_events) / len(instances),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["algorithm", "faulty NTC", "rejected req", "fault events"],
+            rows,
+            precision=2,
+            title=f"Degraded-mode replay under {faults_path}",
+        )
+    )
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:

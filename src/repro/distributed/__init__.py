@@ -19,6 +19,7 @@ from repro.distributed.monitor_protocol import (
     collection_report,
 )
 from repro.distributed.node import LeaderNode, SiteNode
+from repro.distributed.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.distributed.sra_protocol import DistributedSRA, DistributedSRAReport
 
 __all__ = [
@@ -30,6 +31,8 @@ __all__ = [
     "MessageKind",
     "LeaderNode",
     "SiteNode",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
     "DistributedSRA",
     "DistributedSRAReport",
 ]

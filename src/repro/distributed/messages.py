@@ -25,6 +25,7 @@ class MessageKind(enum.Enum):
     TOKEN_RETURN = "token-return"  # site -> leader: step done / list empty
     REPLICATE = "replicate"  # site -> all: new replica announcement
     OBJECT_TRANSFER = "object-transfer"  # data: replica payload shipment
+    ELECTION = "election"  # new leader -> all: leadership change notice
 
 
 @dataclass(frozen=True)

@@ -21,14 +21,17 @@ modes over a drifting day.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.problem import DRPInstance
 from repro.distributed.messages import Message, MessageKind, MessageLog
-from repro.errors import ValidationError
+from repro.distributed.retry import DEFAULT_RETRY_POLICY, RAISE, RetryPolicy
+from repro.errors import RetryExhaustedError, ValidationError
+from repro.sim.faults import FaultPlan, ProtocolFaults
+from repro.utils.tracing import current_tracer
 
 
 @dataclass
@@ -41,6 +44,10 @@ class CollectionRound:
     counters_shipped: int
     objects_reported: int
     monitor_view_exact: bool  # does the monitor now see the true totals?
+    # Degraded-mode bookkeeping; empty/zero on a fault-free round.
+    missing_sites: List[int] = field(default_factory=list)
+    retransmissions: int = 0
+    monitor_site: int = 0
 
 
 class MonitorProtocol:
@@ -57,6 +64,8 @@ class MonitorProtocol:
         instance: DRPInstance,
         monitor_site: int = 0,
         threshold: float = 0.0,
+        fault_plan: Optional[FaultPlan] = None,
+        retry: RetryPolicy = DEFAULT_RETRY_POLICY,
     ) -> None:
         if not 0 <= monitor_site < instance.num_sites:
             raise ValidationError(
@@ -68,12 +77,19 @@ class MonitorProtocol:
         self.instance = instance
         self.monitor_site = monitor_site
         self.threshold = threshold
+        self.retry = retry
         self.log = MessageLog(instance.cost)
         m, n = instance.num_sites, instance.num_objects
         # the monitor's last-known view per site
         self._known_reads = np.zeros((m, n))
         self._known_writes = np.zeros((m, n))
         self._rounds = 0
+        # Degraded-mode state (times in the plan are round numbers).
+        self._faults = (
+            ProtocolFaults(fault_plan, m) if fault_plan is not None else None
+        )
+        self.retransmissions = 0
+        self.elections = 0
 
     # ------------------------------------------------------------------ #
     def _changed_mask(
@@ -93,7 +109,16 @@ class MonitorProtocol:
         observed_writes: np.ndarray,
         mode: str = "full",
     ) -> CollectionRound:
-        """Run one collection round against the observed counters."""
+        """Run one collection round against the observed counters.
+
+        With a fault plan active (its times read as round numbers):
+        crashed sites send nothing and are listed in the round's
+        ``missing_sites``; lossy sends are retried (each retransmission
+        re-ships its counters); a crashed monitor is deterministically
+        replaced by the lowest-numbered alive site, whose view starts
+        empty.  Reported rows commit to the monitor's view only on
+        *delivery*, never on send.
+        """
         if mode not in ("full", "incremental"):
             raise ValidationError(
                 f"mode must be full or incremental, got {mode!r}"
@@ -106,6 +131,15 @@ class MonitorProtocol:
                 f"observed counters must have shape {(m, n)}"
             )
 
+        faults = self._faults
+        round_index = self._rounds
+        missing: List[int] = []
+        retransmissions = 0
+        if faults is not None:
+            faults.advance_to(float(round_index))
+            if self.monitor_site in faults.crashed:
+                self._elect_monitor(round_index)
+
         messages = 0
         counters = 0
         objects_reported: set = set()
@@ -113,8 +147,8 @@ class MonitorProtocol:
             if mode == "full":
                 shipped = 2 * n
                 reported = set(range(n))
-                self._known_reads[site] = observed_reads[site]
-                self._known_writes[site] = observed_writes[site]
+                read_mask = None  # sentinel: commit the whole row
+                write_mask = None
             else:
                 read_mask = self._changed_mask(
                     self._known_reads[site], observed_reads[site]
@@ -126,19 +160,75 @@ class MonitorProtocol:
                 reported = set(
                     int(k) for k in np.nonzero(read_mask | write_mask)[0]
                 )
-                self._known_reads[site, read_mask] = observed_reads[
-                    site, read_mask
-                ]
-                self._known_writes[site, write_mask] = observed_writes[
-                    site, write_mask
-                ]
             if site == self.monitor_site:
-                continue  # the monitor's own stats are local
+                # the monitor's own stats are local (and always delivered)
+                self._commit(
+                    site, observed_reads, observed_writes,
+                    read_mask, write_mask,
+                )
+                continue
+            if faults is not None and site in faults.crashed:
+                missing.append(site)  # a down site reports nothing
+                continue
             if shipped == 0 and mode == "incremental":
                 continue  # nothing drifted: no message at all
-            messages += 1
-            counters += shipped
-            objects_reported |= reported
+            delivered, attempts = self._deliver(site, shipped)
+            messages += attempts
+            counters += shipped * attempts  # retransmissions re-ship
+            retransmissions += attempts - 1
+            if delivered:
+                objects_reported |= reported
+                self._commit(
+                    site, observed_reads, observed_writes,
+                    read_mask, write_mask,
+                )
+            else:
+                missing.append(site)
+        self._rounds += 1
+        self.retransmissions += retransmissions
+        exact = (mode == "full" and not missing) or (
+            self.threshold == 0.0
+            and bool(
+                np.array_equal(self._known_reads, observed_reads)
+                and np.array_equal(self._known_writes, observed_writes)
+            )
+        )
+        return CollectionRound(
+            round_index=round_index,
+            mode=mode,
+            messages=messages,
+            counters_shipped=counters,
+            objects_reported=len(objects_reported),
+            monitor_view_exact=exact,
+            missing_sites=missing,
+            retransmissions=retransmissions,
+            monitor_site=self.monitor_site,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _commit(
+        self,
+        site: int,
+        observed_reads: np.ndarray,
+        observed_writes: np.ndarray,
+        read_mask: Optional[np.ndarray],
+        write_mask: Optional[np.ndarray],
+    ) -> None:
+        """Fold a *delivered* report into the monitor's view."""
+        if read_mask is None:
+            self._known_reads[site] = observed_reads[site]
+            self._known_writes[site] = observed_writes[site]
+        else:
+            self._known_reads[site, read_mask] = observed_reads[
+                site, read_mask
+            ]
+            self._known_writes[site, write_mask] = observed_writes[
+                site, write_mask
+            ]
+
+    def _deliver(self, site: int, shipped: int) -> Tuple[bool, int]:
+        """Send one report with retries; returns (delivered, attempts)."""
+        if self._faults is None:
             self.log.record(
                 Message(
                     sender=site,
@@ -148,22 +238,68 @@ class MonitorProtocol:
                     payload=None,
                 )
             )
-        self._rounds += 1
-        exact = (
-            self.threshold == 0.0
-            and bool(
-                np.array_equal(self._known_reads, observed_reads)
-                and np.array_equal(self._known_writes, observed_writes)
+            return True, 1
+        attempts = 0
+        for _ in self._attempt_slots():
+            attempts += 1
+            self.log.record(
+                Message(
+                    sender=site,
+                    receiver=self.monitor_site,
+                    kind=MessageKind.STATS,
+                    size_units=float(shipped),
+                    payload=None,
+                )
             )
-        ) or mode == "full"
-        return CollectionRound(
-            round_index=self._rounds - 1,
-            mode=mode,
-            messages=messages,
-            counters_shipped=counters,
-            objects_reported=len(objects_reported),
-            monitor_view_exact=exact,
+            lost, _dup, _delay = self._faults.messages.judge()
+            # duplicated reports are idempotent re-deliveries: ignored
+            if not lost and self.monitor_site not in self._faults.crashed:
+                return True, attempts
+        if self.retry.on_exhaust == RAISE:
+            raise RetryExhaustedError("STATS", self.monitor_site, attempts)
+        return False, attempts
+
+    def _attempt_slots(self) -> List[float]:
+        return [0.0] + list(self.retry.delays())
+
+    def _elect_monitor(self, round_index: int) -> None:
+        """Replace a crashed monitor with the lowest-numbered alive site.
+
+        The new monitor has none of its predecessor's history, so the
+        last-known view resets to zero — incremental rounds right after
+        an election ship full rows again, exactly as a real take-over
+        would force.
+        """
+        from repro.errors import ProtocolError
+
+        faults = self._faults
+        assert faults is not None
+        alive = [
+            s
+            for s in range(self.instance.num_sites)
+            if s not in faults.crashed
+        ]
+        if not alive:
+            raise ProtocolError("every site is down; cannot elect a monitor")
+        new_monitor = min(alive)
+        self.elections += 1
+        for s in alive:
+            if s != new_monitor:
+                self.log.record(
+                    Message(
+                        new_monitor, s, MessageKind.ELECTION, 0.0,
+                        payload=new_monitor,
+                    )
+                )
+        current_tracer().event(
+            "protocol.monitor_election",
+            new_monitor=new_monitor,
+            round=round_index,
+            previous=self.monitor_site,
         )
+        self.monitor_site = new_monitor
+        self._known_reads[:] = 0.0
+        self._known_writes[:] = 0.0
 
     def monitor_view(self) -> Tuple[np.ndarray, np.ndarray]:
         """The monitor's current belief about the global patterns."""

@@ -17,12 +17,40 @@ Protocol flow:
 The emulation produces bit-identical schemes to the centralised
 :class:`repro.algorithms.SRA` (tests assert this) while exposing the
 message complexity the paper glosses over.
+
+Degraded operation
+------------------
+With a :class:`~repro.sim.faults.FaultPlan` (transition times read as
+**round numbers**; round 0 is the STATS phase) the protocol hardens:
+
+* unreliable control sends (``STATS``, ``TOKEN``/``TOKEN_RETURN``) are
+  retried under a :class:`~repro.distributed.retry.RetryPolicy` with
+  exponential backoff; an unresponsive peer is either *suspected*
+  (retired from ``LS``) or the run aborts with
+  :class:`~repro.errors.RetryExhaustedError`, per the policy;
+* token handling is idempotent — a duplicated ``TOKEN`` re-sends the
+  cached ``TOKEN_RETURN`` without re-running the greedy step;
+* a crashed leader triggers exactly one deterministic re-election per
+  crash: the lowest-numbered alive site takes over, announces itself
+  with ``ELECTION`` messages and rebuilds ``LS`` from the alive sites
+  (election and recovery-resync messages model an atomic procedure and
+  are not themselves subject to message faults);
+* a recovering site is resynchronised (fresh ``STATS``; missed
+  ``REPLICATE`` announcements are replayed into its ``SN`` fields, which
+  are idempotent minima) and rejoins ``LS`` if its candidate list is
+  non-empty;
+* ``REPLICATE`` broadcasts are best-effort gossip (lossy, no retry) and
+  ``OBJECT_TRANSFER`` payloads ride a reliable data-plane transport and
+  are exempt from message faults.
+
+With ``fault_plan=None`` the original code path runs untouched and the
+message log is byte-identical to the pre-hardening protocol.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -30,7 +58,10 @@ from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
 from repro.distributed.messages import Message, MessageKind, MessageLog
 from repro.distributed.node import LeaderNode, SiteNode
-from repro.errors import ProtocolError, ValidationError
+from repro.distributed.retry import DEFAULT_RETRY_POLICY, RAISE, RetryPolicy
+from repro.errors import ProtocolError, RetryExhaustedError, ValidationError
+from repro.sim.faults import FaultPlan, ProtocolFaults
+from repro.utils.tracing import current_tracer
 
 
 @dataclass
@@ -41,11 +72,23 @@ class DistributedSRAReport:
     log: MessageLog
     token_rounds: int
     replications: int
+    # Degraded-mode bookkeeping; all zero/empty on a fault-free run.
+    elections: int = 0
+    retries: int = 0
+    duplicates: int = 0
+    total_backoff: float = 0.0
+    suspected_sites: List[int] = field(default_factory=list)
+    leader_history: List[int] = field(default_factory=list)
 
     def summary(self) -> Dict[str, float]:
         return {
             "token_rounds": float(self.token_rounds),
             "replications": float(self.replications),
+            "elections": float(self.elections),
+            "retries": float(self.retries),
+            "duplicates": float(self.duplicates),
+            "total_backoff": float(self.total_backoff),
+            "suspected_sites": float(len(self.suspected_sites)),
             **self.log.summary(),
         }
 
@@ -59,12 +102,26 @@ class DistributedSRA:
         Site hosting the leader role (owns ``LS`` and the token).
     max_rounds:
         Safety valve against protocol bugs; the greedy terminates after
-        at most ``M * N`` replications plus ``M * (N + 1)`` empty visits.
+        at most ``M * N`` replications plus ``M * (N + 1)`` empty visits
+        (crash/recovery cycles extend the bound accordingly).
+    fault_plan:
+        Optional fault schedule; transition times are round numbers.
+        ``None`` (the default) runs the original, unhardened protocol.
+    retry:
+        Send-retry policy used only when a fault plan is active.
     """
 
-    def __init__(self, leader_site: int = 0, max_rounds: Optional[int] = None):
+    def __init__(
+        self,
+        leader_site: int = 0,
+        max_rounds: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry: RetryPolicy = DEFAULT_RETRY_POLICY,
+    ):
         self.leader_site = leader_site
         self.max_rounds = max_rounds
+        self.fault_plan = fault_plan
+        self.retry = retry
 
     def run(self, instance: DRPInstance) -> DistributedSRAReport:
         if not 0 <= self.leader_site < instance.num_sites:
@@ -82,8 +139,17 @@ class DistributedSRA:
         for obj in range(instance.num_objects):
             nodes[int(instance.primaries[obj])].host_primary(obj)
 
-        # Phase 1: statistics distribution.
         write_totals = instance.writes.sum(axis=0).astype(float)
+
+        if self.fault_plan is not None:
+            return self._run_hardened(
+                instance, log, nodes, leader, write_totals
+            )
+
+        # ------------------------------------------------------------- #
+        # Fault-free path: the original protocol, byte for byte.
+        # ------------------------------------------------------------- #
+        # Phase 1: statistics distribution.
         for node in nodes:
             log.record(
                 Message(
@@ -115,37 +181,11 @@ class DistributedSRA:
                 Message(self.leader_site, site, MessageKind.TOKEN, 0.0)
             )
             node = nodes[site]
-            source = None
-            replicated = None
-            if not node.exhausted:
-                # Fetch source must be captured before the step updates SN.
-                snapshot_nearest = node.nearest.copy()
-                replicated = node.greedy_step()
-                if replicated is not None:
-                    source = int(snapshot_nearest[replicated])
+            replicated = self._greedy_visit(
+                instance, log, nodes, node, site
+            )
             if replicated is not None:
                 replications += 1
-                # Data: pull the object payload from the nearest replica.
-                log.record(
-                    Message(
-                        sender=source if source is not None else site,
-                        receiver=site,
-                        kind=MessageKind.OBJECT_TRANSFER,
-                        size_units=float(instance.sizes[replicated]),
-                        payload=replicated,
-                    )
-                )
-                # Control: announce the new replica to every other site.
-                for other in nodes:
-                    if other.site == site:
-                        continue
-                    log.record(
-                        Message(
-                            site, other.site, MessageKind.REPLICATE, 0.0,
-                            payload=(replicated, site),
-                        )
-                    )
-                    other.observe_replication(replicated, site)
             exhausted = node.exhausted
             log.record(
                 Message(
@@ -161,19 +201,362 @@ class DistributedSRA:
             else:
                 leader.advance()
 
+        return DistributedSRAReport(
+            scheme=self._collect_scheme(instance, nodes),
+            log=log,
+            token_rounds=rounds,
+            replications=replications,
+            leader_history=[self.leader_site],
+        )
+
+    # ------------------------------------------------------------------ #
+    # shared pieces
+    # ------------------------------------------------------------------ #
+    def _greedy_visit(
+        self,
+        instance: DRPInstance,
+        log: MessageLog,
+        nodes: List[SiteNode],
+        node: SiteNode,
+        site: int,
+        crashed: Optional[Set[int]] = None,
+        faults: Optional[ProtocolFaults] = None,
+        history: Optional[List[Tuple[int, int]]] = None,
+    ) -> Optional[int]:
+        """One token visit: greedy step plus its data/announce traffic.
+
+        Returns the replicated object (or ``None``).  With ``crashed`` /
+        ``faults`` given, crashed peers are skipped and ``REPLICATE``
+        legs are best-effort (lossy, idempotent).
+        """
+        source = None
+        replicated = None
+        if not node.exhausted:
+            # Fetch source must be captured before the step updates SN.
+            snapshot_nearest = node.nearest.copy()
+            replicated = node.greedy_step()
+            if replicated is not None:
+                source = int(snapshot_nearest[replicated])
+        if replicated is None:
+            return None
+        if crashed is not None and source in crashed:
+            # The nearest known replica is down; pull from the object's
+            # primary instead (always a valid holder).
+            fallback = int(instance.primaries[replicated])
+            if fallback not in crashed:
+                source = fallback
+        # Data: pull the object payload from the chosen replica.  The
+        # data-plane transport is reliable; message faults do not apply.
+        log.record(
+            Message(
+                sender=source if source is not None else site,
+                receiver=site,
+                kind=MessageKind.OBJECT_TRANSFER,
+                size_units=float(instance.sizes[replicated]),
+                payload=replicated,
+            )
+        )
+        if history is not None:
+            history.append((replicated, site))
+        # Control: announce the new replica to every other site.
+        for other in nodes:
+            if other.site == site:
+                continue
+            if crashed is not None and other.site in crashed:
+                continue  # resynchronised from history on recovery
+            log.record(
+                Message(
+                    site, other.site, MessageKind.REPLICATE, 0.0,
+                    payload=(replicated, site),
+                )
+            )
+            if faults is not None and other.site != site:
+                lost, dup, _ = faults.messages.judge()
+                if dup:
+                    self._duplicates += 1  # observe_replication is a min
+                if lost:
+                    continue  # best-effort gossip: peer's SN goes stale
+            other.observe_replication(replicated, site)
+        return replicated
+
+    @staticmethod
+    def _collect_scheme(
+        instance: DRPInstance, nodes: List[SiteNode]
+    ) -> ReplicationScheme:
         matrix = np.zeros(
             (instance.num_sites, instance.num_objects), dtype=bool
         )
         for node in nodes:
             for obj in node.replicas:
                 matrix[node.site, obj] = True
-        scheme = ReplicationScheme.from_matrix(instance, matrix)
+        return ReplicationScheme.from_matrix(instance, matrix)
+
+    # ------------------------------------------------------------------ #
+    # hardened path (fault plan active)
+    # ------------------------------------------------------------------ #
+    def _run_hardened(
+        self,
+        instance: DRPInstance,
+        log: MessageLog,
+        nodes: List[SiteNode],
+        leader: LeaderNode,
+        write_totals: np.ndarray,
+    ) -> DistributedSRAReport:
+        tracer = current_tracer()
+        faults = ProtocolFaults(self.fault_plan, instance.num_sites)
+        policy = self.retry
+        self._duplicates = 0
+        self._retries = 0
+        self._backoff = 0.0
+        elections = 0
+        suspected: Set[int] = set()
+        leader_history = [leader.site]
+        history: List[Tuple[int, int]] = []  # (obj, site) replications
+
+        def apply_transitions(time: float) -> None:
+            nonlocal elections
+            for kind, site in faults.advance_to(time):
+                if kind == "crash":
+                    tracer.event(
+                        "protocol.site_crash", site=site, round=time
+                    )
+                    continue
+                # recovery: resync (atomic procedure) and rejoin LS
+                tracer.event(
+                    "protocol.site_recovery", site=site, round=time
+                )
+                suspected.discard(site)
+                node = nodes[site]
+                log.record(
+                    Message(
+                        leader.site, site, MessageKind.STATS, 0.0
+                    )
+                )
+                node.receive_stats(write_totals)
+                for obj, replicator in history:
+                    node.observe_replication(obj, replicator)
+                if not node.exhausted and site not in leader.active:
+                    leader.active.append(site)
+            if leader.site in faults.crashed:
+                alive = [
+                    s
+                    for s in range(instance.num_sites)
+                    if s not in faults.crashed
+                ]
+                if not alive:
+                    raise ProtocolError(
+                        "every site is down; cannot elect a leader"
+                    )
+                new_leader = min(alive)
+                elections += 1
+                for s in alive:
+                    if s != new_leader:
+                        log.record(
+                            Message(
+                                new_leader,
+                                s,
+                                MessageKind.ELECTION,
+                                0.0,
+                                payload=new_leader,
+                            )
+                        )
+                leader.active = [
+                    s for s in leader.active if s not in faults.crashed
+                ]
+                leader.site = new_leader
+                leader._cursor = 0
+                leader_history.append(new_leader)
+                tracer.event(
+                    "protocol.election",
+                    new_leader=new_leader,
+                    round=time,
+                )
+
+        # Round 0: statistics distribution (retried per site).
+        apply_transitions(0.0)
+        for node in nodes:
+            if node.site == leader.site:
+                log.record(
+                    Message(leader.site, node.site, MessageKind.STATS, 0.0)
+                )
+                node.receive_stats(write_totals)
+                continue
+            if self._send_with_retry(
+                log, faults, policy, leader.site, node.site,
+                MessageKind.STATS, "STATS",
+            ):
+                node.receive_stats(write_totals)
+            else:
+                self._suspect(leader, suspected, node.site, tracer, 0)
+
+        # Token rounds.
+        limit = self.max_rounds or (
+            (instance.num_sites + len(self.fault_plan.crashes))
+            * (2 * instance.num_objects + 2)
+        )
+        rounds = 0
+        replications = 0
+        while not leader.done:
+            rounds += 1
+            if rounds > limit:
+                raise ProtocolError(
+                    f"distributed SRA exceeded {limit} token rounds; "
+                    "protocol is not terminating"
+                )
+            apply_transitions(float(rounds))
+            if leader.done:
+                break
+            site = leader.next_site()
+            assert site is not None
+            node = nodes[site]
+            outcome = self._token_round(
+                instance, log, nodes, faults, policy, leader, node,
+                history,
+            )
+            if outcome is None:
+                self._suspect(leader, suspected, site, tracer, rounds)
+                continue
+            replicated, exhausted = outcome
+            if replicated is not None:
+                replications += 1
+            if exhausted:
+                leader.retire(site)
+            else:
+                leader.advance()
+
         return DistributedSRAReport(
-            scheme=scheme,
+            scheme=self._collect_scheme(instance, nodes),
             log=log,
             token_rounds=rounds,
             replications=replications,
+            elections=elections,
+            retries=self._retries,
+            duplicates=self._duplicates,
+            total_backoff=self._backoff,
+            suspected_sites=sorted(suspected),
+            leader_history=leader_history,
         )
+
+    def _suspect(
+        self,
+        leader: LeaderNode,
+        suspected: Set[int],
+        site: int,
+        tracer,
+        round_index: int,
+    ) -> None:
+        suspected.add(site)
+        if site in leader.active:
+            leader.retire(site)
+        tracer.event("protocol.suspect", site=site, round=round_index)
+
+    def _send_with_retry(
+        self,
+        log: MessageLog,
+        faults: ProtocolFaults,
+        policy: RetryPolicy,
+        sender: int,
+        receiver: int,
+        kind: MessageKind,
+        operation: str,
+    ) -> bool:
+        """Send one control message, retrying on loss / crashed peer.
+
+        Every attempt is recorded in the log (it really went out on the
+        wire).  Returns True on delivery; on exhaustion either returns
+        False (``suspect``) or raises :class:`RetryExhaustedError`.
+        """
+        attempts = 0
+        for delay in self._attempt_delays(policy):
+            attempts += 1
+            self._backoff += delay
+            if attempts > 1:
+                self._retries += 1
+            log.record(Message(sender, receiver, kind, 0.0))
+            lost, dup, _ = faults.messages.judge()
+            if dup:
+                self._duplicates += 1  # receivers dedup idempotently
+            if receiver not in faults.crashed and not lost:
+                return True
+        if policy.on_exhaust == RAISE:
+            raise RetryExhaustedError(operation, receiver, attempts)
+        return False
+
+    @staticmethod
+    def _attempt_delays(policy: RetryPolicy) -> List[float]:
+        return [0.0] + list(policy.delays())
+
+    def _token_round(
+        self,
+        instance: DRPInstance,
+        log: MessageLog,
+        nodes: List[SiteNode],
+        faults: ProtocolFaults,
+        policy: RetryPolicy,
+        leader: LeaderNode,
+        node: SiteNode,
+        history: List[Tuple[int, int]],
+    ) -> Optional[Tuple[Optional[int], bool]]:
+        """One hardened token round against ``node``.
+
+        Returns ``(replicated, exhausted)`` on success, or ``None`` when
+        every attempt failed and the policy says ``suspect``.  The
+        greedy step runs at most once per round no matter how many token
+        copies arrive (idempotent tokens, cached reply).
+        """
+        site = node.site
+        processed = False
+        replicated: Optional[int] = None
+        cached_reply = False
+        attempts = 0
+        for delay in self._attempt_delays(policy):
+            attempts += 1
+            self._backoff += delay
+            if attempts > 1:
+                self._retries += 1
+            log.record(Message(leader.site, site, MessageKind.TOKEN, 0.0))
+            if site == leader.site:
+                lost, dup = False, False  # local delivery is reliable
+            else:
+                lost, dup, _ = faults.messages.judge()
+            if site in faults.crashed or lost:
+                continue  # token never arrived; back off and resend
+            if not processed:
+                processed = True
+                replicated = self._greedy_visit(
+                    instance, log, nodes, node, site,
+                    crashed=faults.crashed, faults=faults, history=history,
+                )
+                cached_reply = node.exhausted
+            # One TOKEN_RETURN per delivered token copy; a duplicated
+            # token re-sends the cached reply without re-processing.
+            copies = 2 if dup else 1
+            if dup:
+                self._duplicates += 1
+            delivered = False
+            for _ in range(copies):
+                log.record(
+                    Message(
+                        site,
+                        leader.site,
+                        MessageKind.TOKEN_RETURN,
+                        0.0,
+                        payload=cached_reply,
+                    )
+                )
+                if site == leader.site:
+                    lost2, dup2 = False, False
+                else:
+                    lost2, dup2, _ = faults.messages.judge()
+                if dup2:
+                    self._duplicates += 1  # leader dedups by round
+                if not lost2 and leader.site not in faults.crashed:
+                    delivered = True
+            if delivered:
+                return (replicated, cached_reply)
+        if policy.on_exhaust == RAISE:
+            raise RetryExhaustedError("TOKEN", site, attempts)
+        return None
 
 
 __all__ = ["DistributedSRA", "DistributedSRAReport"]

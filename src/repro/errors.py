@@ -61,3 +61,24 @@ class TopologyError(ReproError):
 
 class ProtocolError(ReproError):
     """A distributed-protocol emulation violated its own rules."""
+
+
+class FaultPlanError(ValidationError):
+    """A fault-injection plan is malformed (bad window, site, rate...)."""
+
+
+class RetryExhaustedError(ProtocolError):
+    """A protocol operation gave up after its configured retry budget.
+
+    Carries the operation name, the peer it was addressed to and the
+    number of attempts made, so callers can distinguish a dead peer from
+    a hopelessly lossy link without parsing the message.
+    """
+
+    def __init__(self, operation: str, peer: int, attempts: int) -> None:
+        self.operation = operation
+        self.peer = peer
+        self.attempts = attempts
+        super().__init__(
+            f"{operation} to site {peer} failed after {attempts} attempts"
+        )

@@ -23,6 +23,7 @@ from repro.experiments.figures import (
 from repro.experiments.harness import (
     InstanceAverages,
     average_static_runs,
+    chaos_replay_runs,
 )
 from repro.experiments.parallel import (
     GRAFactory,
@@ -46,4 +47,5 @@ __all__ = [
     "run_figure",
     "InstanceAverages",
     "average_static_runs",
+    "chaos_replay_runs",
 ]

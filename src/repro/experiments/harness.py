@@ -128,4 +128,31 @@ def average_static_runs(
     }
 
 
-__all__ = ["AlgorithmFactory", "InstanceAverages", "average_static_runs"]
+def chaos_replay_runs(
+    spec: WorkloadSpec,
+    plan,
+    instances: int,
+    seed: SeedLike = None,
+    max_workers: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """SRA schemes replayed under a fault plan on fresh networks.
+
+    Thin dispatcher over
+    :meth:`~repro.experiments.parallel.ParallelRunner.chaos_replay_runs`;
+    worker-count resolution follows the same explicit > configured >
+    ``$REPRO_PARALLEL`` > serial chain as :func:`average_static_runs`,
+    and results are bit-identical for any worker count.
+    """
+    from repro.experiments.parallel import ParallelRunner
+
+    return ParallelRunner(max_workers=max_workers).chaos_replay_runs(
+        spec, plan, instances, seed=seed
+    )
+
+
+__all__ = [
+    "AlgorithmFactory",
+    "InstanceAverages",
+    "average_static_runs",
+    "chaos_replay_runs",
+]

@@ -203,6 +203,64 @@ def _run_task(
     return task.instance_index, task.label, result, snapshot, trace
 
 
+@dataclass(frozen=True)
+class _ReplayTask:
+    """One chaos-replay cell: SRA scheme + faulty trace replay."""
+
+    spec: WorkloadSpec
+    plan: object  # repro.sim.faults.FaultPlan (picklable frozen dataclass)
+    instance_index: int
+    instance_seed: np.random.SeedSequence
+    collect_trace: bool = False
+    parent_pid: int = 0
+
+
+def _run_replay_task(
+    task: _ReplayTask,
+) -> Tuple[int, Dict[str, float], Optional[Snapshot], Optional[Record]]:
+    """Execute one chaos-replay cell; top-level for worker import.
+
+    Spawns exactly two children from the (re-derived) instance seed:
+    child 0 generates the network, child 1 shuffles the request trace —
+    the same derivation in every execution mode, so serial and parallel
+    chaos runs produce identical metrics.  Tracer handling mirrors
+    :func:`_run_task`.
+    """
+    from repro.sim.faults import FaultInjector
+    from repro.sim.protocol import ReplicaSystem
+    from repro.workload.trace import generate_trace
+
+    seq = task.instance_seed
+    seq = np.random.SeedSequence(
+        entropy=seq.entropy,
+        spawn_key=seq.spawn_key,
+        pool_size=seq.pool_size,
+    )
+    children = seq.spawn(2)
+    own_tracer: Optional[Tracer] = None
+    if task.collect_trace and os.getpid() != task.parent_pid:
+        disable_global_tracing()  # drop any tracer copy inherited via fork
+        own_tracer = enable_global_tracing()
+    try:
+        with current_tracer().span(
+            "harness.chaos_task", instance=task.instance_index
+        ):
+            instance = generate_instance(task.spec, rng=children[0])
+            result = SRA().run(instance)
+            trace = generate_trace(instance, rng=children[1])
+            system = ReplicaSystem(instance, result.scheme)
+            injector = FaultInjector(task.plan)
+            system.replay(trace, injector=injector)
+            summary = system.metrics.summary()
+        trace_snapshot = (
+            own_tracer.snapshot() if own_tracer is not None else None
+        )
+    finally:
+        if own_tracer is not None:
+            disable_global_tracing()
+    return task.instance_index, summary, None, trace_snapshot
+
+
 class ParallelRunner:
     """Fans harness grids over worker processes; falls back to serial.
 
@@ -306,10 +364,56 @@ class ParallelRunner:
         }
 
     # ------------------------------------------------------------------ #
-    def _run_tasks(self, tasks: List[_Task]) -> List[Tuple]:
+    def chaos_replay_runs(
+        self,
+        spec: WorkloadSpec,
+        plan,
+        instances: int,
+        seed: SeedLike = None,
+    ) -> List[Dict[str, float]]:
+        """Replay SRA schemes under a fault plan on fresh networks.
+
+        For each of ``instances`` generated networks: solve with SRA,
+        generate the matching request trace, and replay it through a
+        :class:`~repro.sim.faults.FaultInjector` driven by ``plan``.
+        Returns the per-instance ``SimulationMetrics.summary()`` dicts in
+        instance order — bit-identical for any worker count (the chaos
+        determinism guarantee the fault test-suite asserts).
+        """
+        if instances < 1:
+            raise ValidationError(
+                f"instances must be >= 1, got {instances}"
+            )
+        tracer = current_tracer()
+        tasks = [
+            _ReplayTask(
+                spec=spec,
+                plan=plan,
+                instance_index=i,
+                instance_seed=inst_seed,
+                collect_trace=tracer.enabled,
+                parent_pid=os.getpid(),
+            )
+            for i, inst_seed in enumerate(spawn_seeds(seed, instances))
+        ]
+        with tracer.span(
+            "harness.chaos_replay_runs",
+            instances=instances,
+            workers=self.max_workers,
+        ) as root:
+            outcomes = self._run_tasks(tasks, fn=_run_replay_task)
+            summaries: List[Dict[str, float]] = [None] * len(tasks)
+            for index, summary, _snapshot, trace in outcomes:
+                summaries[index] = summary
+                if trace is not None:
+                    tracer.merge_snapshot(trace, parent_id=root.id)
+        return summaries
+
+    # ------------------------------------------------------------------ #
+    def _run_tasks(self, tasks: List, fn=_run_task) -> List[Tuple]:
         """Run every task, preserving order; retry failures in-process."""
         if self.serial or len(tasks) <= 1:
-            return [_run_task(task) for task in tasks]
+            return [fn(task) for task in tasks]
         if not self._picklable(tasks):
             warnings.warn(
                 "algorithm factories are not picklable (lambdas?); "
@@ -319,13 +423,13 @@ class ParallelRunner:
                 RuntimeWarning,
                 stacklevel=3,
             )
-            return [_run_task(task) for task in tasks]
+            return [fn(task) for task in tasks]
         outcomes: List[Optional[Tuple]] = [None] * len(tasks)
         workers = min(self.max_workers, len(tasks))
         executor = ProcessPoolExecutor(max_workers=workers)
         try:
             futures = {
-                i: executor.submit(_run_task, task)
+                i: executor.submit(fn, task)
                 for i, task in enumerate(tasks)
             }
             for i, future in futures.items():
@@ -338,19 +442,24 @@ class ParallelRunner:
         for i, outcome in enumerate(outcomes):
             if outcome is None:
                 # retry-once: same seeds, same numbers, just local CPU
-                outcomes[i] = _run_task(tasks[i])
+                outcomes[i] = fn(tasks[i])
         return outcomes  # type: ignore[return-value]
 
     @staticmethod
-    def _picklable(tasks: List[_Task]) -> bool:
+    def _picklable(tasks: List) -> bool:
         seen = set()
         for task in tasks:
-            marker = id(task.factory)
+            # replay tasks carry no factory; their payload (a frozen
+            # FaultPlan) is always picklable
+            factory = getattr(task, "factory", None)
+            if factory is None:
+                continue
+            marker = id(factory)
             if marker in seen:
                 continue
             seen.add(marker)
             try:
-                pickle.dumps(task.factory)
+                pickle.dumps(factory)
             except Exception:
                 return False
         return True

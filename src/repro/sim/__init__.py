@@ -17,6 +17,15 @@ Section 5 (:mod:`repro.sim.adaptive`).
 
 from repro.sim.events import EventQueue, ScheduledEvent
 from repro.sim.engine import Simulator
+from repro.sim.faults import (
+    CrashWindow,
+    FaultInjector,
+    FaultPlan,
+    LinkDegradation,
+    MessageFaultSpec,
+    PartitionWindow,
+    load_fault_plan,
+)
 from repro.sim.metrics import SimulationMetrics
 from repro.sim.protocol import ReplicaSystem
 from repro.sim.adaptive import AdaptiveLoopReport, AdaptiveReplicationLoop
@@ -33,4 +42,11 @@ __all__ = [
     "ReplicaSystem",
     "AdaptiveLoopReport",
     "AdaptiveReplicationLoop",
+    "CrashWindow",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkDegradation",
+    "MessageFaultSpec",
+    "PartitionWindow",
+    "load_fault_plan",
 ]

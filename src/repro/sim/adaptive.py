@@ -30,9 +30,11 @@ from repro.core.cost import CostModel
 from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
 from repro.errors import ValidationError
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.metrics import SimulationMetrics
 from repro.sim.protocol import ReplicaSystem
 from repro.utils.rng import SeedLike, as_generator
+from repro.utils.tracing import current_tracer
 from repro.workload.mutation import detect_changed_objects
 from repro.workload.trace import generate_trace
 
@@ -48,6 +50,11 @@ class EpochRecord:
     adapted: bool
     migrations: int
     adaptation_seconds: float
+    # Degraded-mode bookkeeping (defaults keep fault-free construction
+    # sites unchanged).
+    failed_sites: List[int] = field(default_factory=list)
+    deferred_replicas: int = 0
+    resumed_migrations: int = 0
 
 
 @dataclass
@@ -89,6 +96,12 @@ class AdaptiveReplicationLoop:
     seed_matrices:
         Final population of the GRA run that produced ``initial_scheme``
         (improves AGRA's transcription).
+    fault_plan:
+        Optional :class:`~repro.sim.faults.FaultPlan` whose transition
+        times are interpreted as **epoch numbers**: transitions due at
+        or before epoch ``i`` apply at the start of epoch ``i``.  While
+        sites are down, AGRA reallocation onto them is deferred and
+        re-realised once they recover.
     """
 
     def __init__(
@@ -101,6 +114,7 @@ class AdaptiveReplicationLoop:
         gra_params: GAParams = PAPER_PARAMS,
         seed_matrices: Sequence[np.ndarray] = (),
         rng: SeedLike = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if threshold < 0:
             raise ValidationError(f"threshold must be >= 0, got {threshold}")
@@ -114,6 +128,14 @@ class AdaptiveReplicationLoop:
         ]
         self._rng = as_generator(rng)
         self.system = ReplicaSystem(instance, initial_scheme)
+        self._injector = (
+            FaultInjector(fault_plan)
+            if fault_plan is not None and not fault_plan.is_empty
+            else None
+        )
+        # A target scheme whose realisation was cut short by failures;
+        # retried at every epoch boundary until it fully lands.
+        self._pending: Optional[ReplicationScheme] = None
 
     # ------------------------------------------------------------------ #
     def run(self, epochs: Sequence[DRPInstance]) -> AdaptiveLoopReport:
@@ -125,6 +147,11 @@ class AdaptiveReplicationLoop:
         records: List[EpochRecord] = []
         for index, epoch_instance in enumerate(epochs):
             self._check_compatible(epoch_instance)
+            # Apply fault transitions due at this epoch boundary, then
+            # retry any adaptation that previous failures cut short.
+            if self._injector is not None:
+                self._injector.advance_to(float(index), self.system)
+            resumed = self._resume_pending(index)
             # Replay this epoch's traffic against the deployed scheme.
             trace = generate_trace(epoch_instance, rng=self._rng)
             self.system.instance = epoch_instance  # costs use new patterns
@@ -141,6 +168,7 @@ class AdaptiveReplicationLoop:
             )
             adapted = False
             migrations = 0
+            deferred = 0
             adaptation_seconds = 0.0
             if changed:
                 agra = AGRA(
@@ -158,7 +186,7 @@ class AdaptiveReplicationLoop:
                 adaptation_seconds = result.runtime_seconds
                 # Only realise schemes that actually improve the new cost.
                 if result.total_cost < model.total_cost(self.system.scheme):
-                    migrations = self.system.realize_scheme(result.scheme)
+                    migrations, deferred = self._realize(result.scheme, index)
                     adapted = True
                     self._assumed = epoch_instance
 
@@ -171,6 +199,9 @@ class AdaptiveReplicationLoop:
                     adapted=adapted,
                     migrations=migrations,
                     adaptation_seconds=adaptation_seconds,
+                    failed_sites=sorted(self.system.failed_sites),
+                    deferred_replicas=deferred,
+                    resumed_migrations=resumed,
                 )
             )
         return AdaptiveLoopReport(
@@ -178,6 +209,53 @@ class AdaptiveReplicationLoop:
             metrics=self.system.metrics,
             final_scheme=self.system.scheme.copy(),
         )
+
+    # ------------------------------------------------------------------ #
+    def _realize(
+        self, target: ReplicationScheme, epoch: int
+    ) -> "tuple[int, int]":
+        """Realise ``target``, deferring what failures make impossible.
+
+        Returns ``(migrations, deferred_replicas)``.  A partial
+        realisation parks the target in ``self._pending`` for retry at
+        later epoch boundaries.
+        """
+        degraded = bool(self.system.failed_sites) or self.system.has_link_faults
+        migrations = self.system.realize_scheme(
+            target, skip_unreachable=degraded
+        )
+        deferred = int(
+            np.sum(self.system.scheme.matrix != target.matrix)
+        )
+        if deferred:
+            self._pending = target.copy()
+            current_tracer().event(
+                "adaptive.defer",
+                epoch=epoch,
+                deferred_replicas=deferred,
+                failed_sites=sorted(self.system.failed_sites),
+            )
+        else:
+            self._pending = None
+        return migrations, deferred
+
+    def _resume_pending(self, epoch: int) -> int:
+        """Retry a deferred realisation; returns migrations performed."""
+        if self._pending is None:
+            return 0
+        migrations = self.system.realize_scheme(
+            self._pending, skip_unreachable=True
+        )
+        if np.array_equal(self.system.scheme.matrix, self._pending.matrix):
+            self._pending = None
+        if migrations:
+            current_tracer().event(
+                "adaptive.resume",
+                epoch=epoch,
+                migrations=migrations,
+                complete=self._pending is None,
+            )
+        return migrations
 
     # ------------------------------------------------------------------ #
     def _check_compatible(self, other: DRPInstance) -> None:

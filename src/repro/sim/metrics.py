@@ -51,6 +51,7 @@ class SimulationMetrics:
     rejected_writes: int = field(default=0, init=False)
     read_latencies: Histogram = field(init=False)
     write_latencies: Histogram = field(init=False)
+    fault_events: Dict[str, int] = field(init=False)
 
     def __post_init__(self) -> None:
         if self.num_sites < 1 or self.num_objects < 1:
@@ -60,6 +61,7 @@ class SimulationMetrics:
         self.ntc_by_object = np.zeros(self.num_objects)
         self.read_latencies = Histogram()
         self.write_latencies = Histogram()
+        self.fault_events = {}
 
     # ------------------------------------------------------------------ #
     def record_transfer(
@@ -98,6 +100,10 @@ class SimulationMetrics:
     def record_rejected_write(self) -> None:
         """A write that could not be applied (writer or primary down)."""
         self.rejected_writes += 1
+
+    def record_fault(self, kind: str) -> None:
+        """Count one injected fault transition (crash, recovery, ...)."""
+        self.fault_events[kind] = self.fault_events.get(kind, 0) + 1
 
     # ------------------------------------------------------------------ #
     @property
@@ -139,7 +145,7 @@ class SimulationMetrics:
         return out
 
     def summary(self) -> Dict[str, float]:
-        return {
+        out = {
             "total_ntc": self.total_ntc,
             "request_ntc": self.request_ntc,
             "transfers": float(self.transfers),
@@ -151,6 +157,17 @@ class SimulationMetrics:
             "p95_read_latency": self.percentile_read_latency(95.0),
             **{f"ntc[{cause}]": v for cause, v in self.ntc_by_cause.items()},
         }
+        # Only present when faults actually fired, so a fault-free run's
+        # summary is key-identical to one recorded before fault injection
+        # existed (the empty-plan regression guarantee).
+        if self.fault_events:
+            out.update(
+                {
+                    f"faults[{kind}]": float(count)
+                    for kind, count in sorted(self.fault_events.items())
+                }
+            )
+        return out
 
 
 __all__ = [

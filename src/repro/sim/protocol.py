@@ -15,11 +15,20 @@ Scheme *realisation* (the nightly redistribution of Section 5) is also
 modelled: migrating a replica to a new site pulls the payload from the
 nearest pre-existing replica, and its cost is accounted separately as
 ``MIGRATION`` traffic.
+
+Degraded operation (:mod:`repro.sim.faults`) layers on top: sites crash
+and recover over scheduled windows, link costs degrade by multiplicative
+factors, and partitions make whole site groups mutually unreachable.
+Requests route around all of it — reads fall back to the nearest *alive,
+reachable* replica, writes reject when the primary is unavailable, and
+realisation pulls payloads only from sources that can actually be
+contacted.  With no faults injected every one of those paths reduces to
+the original cost-exact protocol.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -35,6 +44,9 @@ from repro.sim.metrics import (
     SimulationMetrics,
 )
 from repro.workload.trace import READ, WRITE, Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.faults import FaultInjector
 
 
 class ReplicaSystem:
@@ -66,6 +78,9 @@ class ReplicaSystem:
             raise ValidationError(
                 f"update_fraction must lie in [0, 1], got {update_fraction}"
             )
+        # Link-fault state must exist before the ``instance`` setter runs.
+        self._multipliers: Optional[np.ndarray] = None
+        self._unreachable: Optional[np.ndarray] = None
         self.instance = instance
         self.scheme = scheme.copy()
         # A scheme computed against drifted patterns of the same physical
@@ -85,6 +100,67 @@ class ReplicaSystem:
         )
         # Failed (down) sites: serve nothing, issue nothing, miss updates.
         self._failed: set = set()
+
+    # ------------------------------------------------------------------ #
+    # link faults (degradation / partition)
+    # ------------------------------------------------------------------ #
+    @property
+    def instance(self) -> DRPInstance:
+        return self._instance
+
+    @instance.setter
+    def instance(self, value: DRPInstance) -> None:
+        # The adaptive loop swaps in drifted-pattern instances of the
+        # same physical network; keep the effective cost matrix in sync
+        # with whatever link faults are currently active.
+        self._instance = value
+        self._cost = (
+            value.cost
+            if self._multipliers is None
+            else value.cost * self._multipliers
+        )
+
+    @property
+    def effective_cost(self) -> np.ndarray:
+        """The per-unit cost matrix currently in force (faults applied)."""
+        return self._cost
+
+    def set_link_faults(
+        self,
+        multipliers: Optional[np.ndarray],
+        unreachable: Optional[np.ndarray],
+    ) -> None:
+        """Install (or clear, with ``None``) link-level fault state.
+
+        ``multipliers`` scales the base cost matrix element-wise;
+        ``unreachable[i, j]`` marks the ``i -> j`` link as delivering
+        nothing at all (partition).  Called by
+        :class:`~repro.sim.faults.FaultInjector`; passing ``None`` for
+        both restores the pristine base matrix exactly.
+        """
+        m = self._instance.num_sites
+        for matrix, name in ((multipliers, "multipliers"),
+                             (unreachable, "unreachable")):
+            if matrix is not None and matrix.shape != (m, m):
+                raise ValidationError(
+                    f"{name} must have shape {(m, m)}, got {matrix.shape}"
+                )
+        self._multipliers = multipliers
+        self._unreachable = unreachable
+        self._cost = (
+            self._instance.cost
+            if multipliers is None
+            else self._instance.cost * multipliers
+        )
+
+    @property
+    def has_link_faults(self) -> bool:
+        """True while any degradation or partition is in force."""
+        return self._multipliers is not None or self._unreachable is not None
+
+    def _reachable(self, src: int, dst: int) -> bool:
+        """True when a transfer ``src -> dst`` can currently be delivered."""
+        return self._unreachable is None or not self._unreachable[src, dst]
 
     # ------------------------------------------------------------------ #
     # failure injection
@@ -117,7 +193,16 @@ class ReplicaSystem:
             primary = int(self.instance.primaries[k])
             if primary == site:
                 continue  # the primary copy is authoritative by definition
-            if self.write_strategy is WriteStrategy.INVALIDATION:
+            if (
+                self.write_strategy is WriteStrategy.INVALIDATION
+                or primary in self._failed
+                or not self._reachable(site, primary)
+            ):
+                # No eager refetch possible (or wanted): mark stale so an
+                # invalidation read refreshes lazily once the primary is
+                # reachable again.  Eager strategies served from such a
+                # copy are stale-but-available, as during a primary
+                # outage.
                 self._valid[site, k] = False
             else:
                 self.metrics.record_transfer(
@@ -125,8 +210,9 @@ class ReplicaSystem:
                     site,
                     k,
                     float(self.instance.sizes[k]),
-                    float(self.instance.cost[site, primary]),
+                    float(self._cost[site, primary]),
                 )
+                self._valid[site, k] = True
                 refetches += 1
         return refetches
 
@@ -135,15 +221,19 @@ class ReplicaSystem:
         return frozenset(self._failed)
 
     def _alive_nearest(self, site: int, obj: int) -> Optional[int]:
-        """Nearest *alive* replicator of ``obj`` from ``site``, if any."""
+        """Nearest alive, *reachable* replicator of ``obj`` from ``site``."""
         reps = [
             int(j)
             for j in self.scheme.replicators(obj)
             if int(j) not in self._failed
         ]
+        if self._unreachable is not None:
+            reps = [
+                j for j in reps if j == site or not self._unreachable[site, j]
+            ]
         if not reps:
             return None
-        costs = self.instance.cost[site, reps]
+        costs = self._cost[site, reps]
         return reps[int(np.argmin(costs))]
 
     # ------------------------------------------------------------------ #
@@ -157,10 +247,15 @@ class ReplicaSystem:
             site,
             obj,
             float(self.instance.sizes[obj]),
-            float(self.instance.cost[site, primary]),
+            float(self._cost[site, primary]),
         )
         self._valid[site, obj] = True
         return latency
+
+    def _can_refresh(self, holder: int, obj: int) -> bool:
+        """Can ``holder`` refetch ``obj`` from its primary right now?"""
+        primary = int(self.instance.primaries[obj])
+        return primary not in self._failed and self._reachable(holder, primary)
 
     def handle_read(self, site: int, obj: int) -> float:
         """Serve a read; returns its latency.
@@ -174,17 +269,14 @@ class ReplicaSystem:
             self.metrics.record_rejected_read()
             return 0.0
         invalidation = self.write_strategy is WriteStrategy.INVALIDATION
-        primary_alive = (
-            int(self.instance.primaries[obj]) not in self._failed
-        )
         if self.scheme.holds(site, obj):
             if invalidation and not self._valid[site, obj]:
-                if primary_alive:
+                if self._can_refresh(site, obj):
                     latency = self._refresh_replica(site, obj)
                     self.metrics.record_read_latency(latency)
                     return latency
-                # primary down: serve the stale copy (availability over
-                # freshness during the outage)
+                # primary down or unreachable: serve the stale copy
+                # (availability over freshness during the outage)
             self.metrics.record_local_read()
             return self.metrics.base_latency
         nearest = self._alive_nearest(site, obj)
@@ -192,14 +284,18 @@ class ReplicaSystem:
             self.metrics.record_rejected_read()  # object unavailable
             return 0.0
         latency = 0.0
-        if invalidation and not self._valid[nearest, obj] and primary_alive:
+        if (
+            invalidation
+            and not self._valid[nearest, obj]
+            and self._can_refresh(nearest, obj)
+        ):
             latency += self._refresh_replica(nearest, obj)
         latency += self.metrics.record_transfer(
             READ_FETCH,
             site,
             obj,
             float(self.instance.sizes[obj]),
-            float(self.instance.cost[site, nearest]),
+            float(self._cost[site, nearest]),
         )
         self.metrics.record_read_latency(latency)
         return latency
@@ -230,20 +326,26 @@ class ReplicaSystem:
                 j = int(replicator)
                 if j == site or j in self._failed:
                     continue  # down replicas miss updates
+                if not self._reachable(site, j):
+                    # partitioned replicas miss updates too: the copy
+                    # goes stale until the partition heals
+                    self._valid[j, obj] = False
+                    continue
                 leg = self.metrics.record_transfer(
                     UPDATE_BROADCAST,
                     j,
                     obj,
                     size,
-                    float(self.instance.cost[site, j]),
+                    float(self._cost[site, j]),
                 )
                 latency = max(latency, leg)
             self.metrics.record_write_latency(latency)
             return latency
 
-        if primary in self._failed:
+        if primary in self._failed or not self._reachable(site, primary):
             # the primary-copy protocol cannot apply writes while the
-            # primary is down (no automatic failover in the paper's model)
+            # primary is down or unreachable (no automatic failover in
+            # the paper's model)
             self.metrics.record_rejected_write()
             return 0.0
         latency = self.metrics.record_transfer(
@@ -251,11 +353,14 @@ class ReplicaSystem:
             site,
             obj,
             size,
-            float(self.instance.cost[site, primary]),
+            float(self._cost[site, primary]),
         )
         if self.write_strategy is WriteStrategy.INVALIDATION:
             # stale-mark every replica except the primary and the writer
-            # (which authored the new version locally, if it holds one)
+            # (which authored the new version locally, if it holds one);
+            # replicas the primary cannot reach are stale-marked too —
+            # they would have missed this invalidation, and marking them
+            # keeps the freshness matrix conservative
             for replicator in self.scheme.replicators(obj):
                 j = int(replicator)
                 if j in (primary, site):
@@ -266,12 +371,15 @@ class ReplicaSystem:
                 j = int(replicator)
                 if j == site or j == primary or j in self._failed:
                     continue
+                if not self._reachable(primary, j):
+                    self._valid[j, obj] = False  # missed this update
+                    continue
                 self.metrics.record_transfer(
                     UPDATE_BROADCAST,
                     j,
                     obj,
                     size,
-                    float(self.instance.cost[primary, j]),
+                    float(self._cost[primary, j]),
                 )
         self.metrics.record_write_latency(latency)
         return latency
@@ -284,10 +392,27 @@ class ReplicaSystem:
     # ------------------------------------------------------------------ #
     # trace replay
     # ------------------------------------------------------------------ #
-    def replay(self, trace: Iterable[Request]) -> SimulationMetrics:
-        """Replay a whole trace immediately (no event scheduling)."""
+    def replay(
+        self,
+        trace: Iterable[Request],
+        injector: "Optional[FaultInjector]" = None,
+    ) -> SimulationMetrics:
+        """Replay a whole trace immediately (no event scheduling).
+
+        With an ``injector``, fault transitions scheduled at or before
+        each request's timestamp are applied first, and any remaining
+        transitions are drained after the last request — so a replay
+        sees exactly the fault timeline a scheduled run would.  With
+        ``injector=None`` this is the original zero-overhead loop.
+        """
+        if injector is None:
+            for request in trace:
+                self.handle_request(request)
+            return self.metrics
         for request in trace:
+            injector.advance_to(request.time, self)
             self.handle_request(request)
+        injector.drain(self)
         return self.metrics
 
     def attach(self, simulator: Simulator, trace: Iterable[Request]) -> None:
@@ -301,34 +426,73 @@ class ReplicaSystem:
     # ------------------------------------------------------------------ #
     # scheme realisation
     # ------------------------------------------------------------------ #
-    def realize_scheme(self, target: ReplicationScheme) -> int:
+    def realize_scheme(
+        self,
+        target: ReplicationScheme,
+        skip_unreachable: bool = False,
+    ) -> int:
         """Migrate to ``target``: create missing replicas, drop stale ones.
 
         New replicas pull their payload from the nearest *pre-existing*
         replica (accounted as ``MIGRATION`` traffic); deallocation is
         free.  Returns the number of migrations performed.
+
+        With ``skip_unreachable=True`` (the adaptive loop's degraded
+        mode) any part of the migration that cannot currently be carried
+        out — a drop or add at a failed site, or an add whose every
+        source replica is dead or partitioned away — is silently
+        deferred instead of raising, and the final convergence check is
+        relaxed accordingly.  Without it, attempting to place a replica
+        at a failed site raises :class:`SimulationError`.
         """
         self._check_storage_compatible(target.instance)
         current = self.scheme.matrix
         desired = target.matrix
         migrations = 0
+        degraded = bool(self._failed) or self._unreachable is not None
+        deferred = False
         # Drops first so capacity frees up before additions land.
         for site, obj in zip(*np.nonzero(current & ~desired)):
-            self.scheme.drop_replica(int(site), int(obj))
+            site, obj = int(site), int(obj)
+            if skip_unreachable and site in self._failed:
+                deferred = True  # cannot instruct a dead site to drop
+                continue
+            self.scheme.drop_replica(site, obj)
         for site, obj in zip(*np.nonzero(desired & ~current)):
             site, obj = int(site), int(obj)
-            source = int(self.scheme.nearest_sites(obj)[site])
+            if site in self._failed:
+                if skip_unreachable:
+                    deferred = True
+                    continue
+                raise SimulationError(
+                    f"cannot place a replica at failed site {site}; "
+                    "use skip_unreachable=True to defer it"
+                )
+            if degraded:
+                source = self._alive_nearest(site, obj)
+                if source is None:
+                    if skip_unreachable:
+                        deferred = True  # no live source right now
+                        continue
+                    raise SimulationError(
+                        f"no reachable source replica for object {obj} "
+                        f"to populate site {site}"
+                    )
+            else:
+                source = int(self.scheme.nearest_sites(obj)[site])
             self.metrics.record_transfer(
                 MIGRATION,
                 site,
                 obj,
                 float(self.instance.sizes[obj]),
-                float(self.instance.cost[site, source]),
+                float(self._cost[site, source]),
             )
             self.scheme.add_replica(site, obj)
             self._valid[site, obj] = True  # migrated copies are current
             migrations += 1
-        if not np.array_equal(self.scheme.matrix, target.matrix):
+        if not deferred and not np.array_equal(
+            self.scheme.matrix, target.matrix
+        ):
             raise SimulationError(
                 "scheme realisation did not converge to the target"
             )

@@ -103,3 +103,56 @@ def test_stats_messages_logged(base):
     protocol.collect(base.reads, base.writes, mode="full")
     assert protocol.log.total_messages == base.num_sites - 1
     assert protocol.log.control_cost > 0  # counters have transfer weight
+
+
+# --------------------------------------------------------------------- #
+# degraded collection under a fault plan
+# --------------------------------------------------------------------- #
+def test_crashed_site_goes_missing_then_catches_up(base):
+    from repro.sim.faults import CrashWindow, FaultPlan
+
+    plan = FaultPlan(crashes=(CrashWindow(site=3, start=0.0, end=1.0),))
+    protocol = MonitorProtocol(base, threshold=0.0, fault_plan=plan)
+    first = protocol.collect(base.reads, base.writes, mode="full")
+    assert first.missing_sites == [3]
+    assert not first.monitor_view_exact
+    second = protocol.collect(base.reads, base.writes, mode="incremental")
+    # the recovered site ships its never-seen counters and the view
+    # becomes exact again
+    assert second.missing_sites == []
+    assert second.messages == 1  # only site 3 has anything to report
+    assert second.counters_shipped > 0
+    assert second.monitor_view_exact
+    reads, writes = protocol.monitor_view()
+    assert np.array_equal(reads, base.reads)
+    assert np.array_equal(writes, base.writes)
+
+
+def test_lossy_sends_are_retransmitted(base):
+    from repro.distributed import RetryPolicy
+    from repro.sim.faults import FaultPlan, MessageFaultSpec
+
+    plan = FaultPlan(messages=MessageFaultSpec(loss=0.4), seed=11)
+    protocol = MonitorProtocol(
+        base,
+        fault_plan=plan,
+        retry=RetryPolicy(max_attempts=8),
+    )
+    outcome = protocol.collect(base.reads, base.writes, mode="full")
+    assert outcome.retransmissions > 0
+    # retransmissions re-ship counters: the cost exceeds the clean run
+    clean = MonitorProtocol(base).collect(
+        base.reads, base.writes, mode="full"
+    )
+    assert outcome.counters_shipped > clean.counters_shipped
+
+
+def test_crashed_monitor_is_replaced_by_lowest_alive(base):
+    from repro.sim.faults import CrashWindow, FaultPlan
+
+    plan = FaultPlan(crashes=(CrashWindow(site=0, start=0.0),))
+    protocol = MonitorProtocol(base, monitor_site=0, fault_plan=plan)
+    outcome = protocol.collect(base.reads, base.writes, mode="full")
+    assert protocol.elections == 1
+    assert outcome.monitor_site == 1
+    assert 0 in outcome.missing_sites  # the old monitor is down

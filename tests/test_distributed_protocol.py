@@ -7,9 +7,14 @@ import numpy as np
 import pytest
 
 from repro.algorithms import SRA
-from repro.distributed import DistributedSRA, MessageKind
+from repro.distributed import DistributedSRA, MessageKind, RetryPolicy
 from repro.distributed.node import LeaderNode, SiteNode
-from repro.errors import ProtocolError, ValidationError
+from repro.errors import (
+    ProtocolError,
+    RetryExhaustedError,
+    ValidationError,
+)
+from repro.sim.faults import CrashWindow, FaultPlan, MessageFaultSpec
 from repro.workload import WorkloadSpec, generate_instance
 
 
@@ -88,6 +93,100 @@ def test_summary_keys(small_instance):
     assert "token_rounds" in summary
     assert "replications" in summary
     assert "total_messages" in summary
+
+
+class TestHardenedProtocol:
+    def test_none_plan_is_byte_identical_to_default(self, small_instance):
+        baseline = DistributedSRA().run(small_instance)
+        explicit = DistributedSRA(fault_plan=None).run(small_instance)
+        assert np.array_equal(
+            baseline.scheme.matrix, explicit.scheme.matrix
+        )
+        assert [
+            (m.kind, m.sender, m.receiver, m.size_units)
+            for m in baseline.log.messages
+        ] == [
+            (m.kind, m.sender, m.receiver, m.size_units)
+            for m in explicit.log.messages
+        ]
+        assert baseline.summary() == explicit.summary()
+
+    def test_empty_plan_matches_none_plan(self, small_instance):
+        baseline = DistributedSRA().run(small_instance)
+        hardened = DistributedSRA(fault_plan=FaultPlan.empty()).run(
+            small_instance
+        )
+        assert np.array_equal(
+            baseline.scheme.matrix, hardened.scheme.matrix
+        )
+        assert hardened.elections == 0
+        assert hardened.retries == 0
+
+    def test_leader_crash_triggers_exactly_one_election(
+        self, small_instance
+    ):
+        plan = FaultPlan(crashes=(CrashWindow(site=0, start=2.0),))
+        report = DistributedSRA(leader_site=0, fault_plan=plan).run(
+            small_instance
+        )
+        assert report.elections == 1
+        assert report.leader_history == [0, 1]  # lowest alive site wins
+        election_msgs = [
+            m
+            for m in report.log.messages
+            if m.kind is MessageKind.ELECTION
+        ]
+        assert election_msgs
+        assert all(m.sender == 1 for m in election_msgs)
+
+    def test_retry_gives_up_with_typed_error(self, small_instance):
+        plan = FaultPlan(messages=MessageFaultSpec(loss=1.0), seed=3)
+        algo = DistributedSRA(
+            fault_plan=plan,
+            retry=RetryPolicy(max_attempts=4, on_exhaust="raise"),
+        )
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            algo.run(small_instance)
+        assert excinfo.value.attempts == 4
+
+    def test_retry_suspects_unresponsive_sites_by_default(
+        self, small_instance
+    ):
+        plan = FaultPlan(messages=MessageFaultSpec(loss=1.0), seed=3)
+        report = DistributedSRA(
+            fault_plan=plan, retry=RetryPolicy(max_attempts=2)
+        ).run(small_instance)
+        assert report.suspected_sites  # every peer drops off eventually
+        assert report.retries > 0
+        assert report.total_backoff > 0.0
+
+    def test_lossy_run_is_deterministic(self, small_instance):
+        plan = FaultPlan(
+            messages=MessageFaultSpec(loss=0.2, duplicate=0.1), seed=7
+        )
+        reports = [
+            DistributedSRA(fault_plan=plan).run(small_instance)
+            for _ in range(2)
+        ]
+        assert reports[0].summary() == reports[1].summary()
+        assert np.array_equal(
+            reports[0].scheme.matrix, reports[1].scheme.matrix
+        )
+
+    def test_crash_and_recovery_resyncs_site(self, small_instance):
+        # site 3 is down for rounds [2, 6) and then rejoins
+        plan = FaultPlan(crashes=(CrashWindow(site=3, start=2.0, end=6.0),))
+        report = DistributedSRA(fault_plan=plan).run(small_instance)
+        central = SRA().run(small_instance)
+        # the run still terminates with a capacity-feasible scheme and
+        # no more replicas than the undisturbed greedy places
+        assert report.scheme.extra_replicas() <= central.scheme.extra_replicas()
+        resync_stats = [
+            m
+            for m in report.log.messages
+            if m.kind is MessageKind.STATS and m.receiver == 3
+        ]
+        assert len(resync_stats) >= 2  # initial distribution + resync
 
 
 class TestNodes:

@@ -310,3 +310,98 @@ def test_no_tracing_no_task_spans():
         SPEC, FACTORIES, instances=1, seed=7
     )
     assert set(averages) == set(FACTORIES)
+
+
+# --------------------------------------------------------------------- #
+# chaos replay runs (fault-injected traces across workers)
+# --------------------------------------------------------------------- #
+def _chaos_plan():
+    from repro.sim import CrashWindow, FaultPlan, LinkDegradation
+
+    return FaultPlan(
+        crashes=(CrashWindow(site=1, start=0.2, end=0.7),),
+        degradations=(
+            LinkDegradation(src=0, dst=2, factor=4.0, start=0.1, end=0.9),
+        ),
+        seed=9,
+    )
+
+
+def test_chaos_replay_identical_across_reruns():
+    runs = [
+        ParallelRunner(max_workers=1).chaos_replay_runs(
+            SPEC, _chaos_plan(), instances=3, seed=47
+        )
+        for _ in range(3)
+    ]
+    assert runs[0] == runs[1] == runs[2]
+    assert len(runs[0]) == 3
+    # the plan actually fired in every instance's replay
+    assert all(s["faults[site_crash]"] == 1.0 for s in runs[0])
+
+
+def test_chaos_replay_serial_matches_parallel():
+    from repro.experiments.harness import chaos_replay_runs
+
+    serial = ParallelRunner(max_workers=1).chaos_replay_runs(
+        SPEC, _chaos_plan(), instances=3, seed=47
+    )
+    pooled = ParallelRunner(max_workers=2).chaos_replay_runs(
+        SPEC, _chaos_plan(), instances=3, seed=47
+    )
+    assert serial == pooled  # bit-identical summaries, same order
+    dispatched = chaos_replay_runs(
+        SPEC, _chaos_plan(), instances=3, seed=47, max_workers=2
+    )
+    assert dispatched == serial
+
+
+def test_chaos_replay_empty_plan_has_no_fault_keys():
+    from repro.sim import FaultPlan
+
+    summaries = ParallelRunner(max_workers=2).chaos_replay_runs(
+        SPEC, FaultPlan.empty(), instances=2, seed=47
+    )
+    for summary in summaries:
+        assert not any(key.startswith("faults[") for key in summary)
+
+
+def _span_name_tree(tracer):
+    """The span forest as (name, parent-name) pairs, id-free.
+
+    Worker snapshot merges remap span ids in record order, so raw ids
+    are only comparable between runs of the *same* worker layout; the
+    name tree is the layout-independent shape.
+    """
+    records = tracer.records()
+    by_id = {r["id"]: r for r in records}
+    shape = sorted(
+        (
+            r["name"],
+            by_id[r["parent"]]["name"] if r["parent"] in by_id else None,
+        )
+        for r in records
+    )
+    return shape
+
+
+def test_chaos_replay_trace_shape_matches_across_modes():
+    from repro.utils.tracing import (
+        disable_global_tracing,
+        enable_global_tracing,
+    )
+
+    shapes = []
+    for workers in (1, 2):
+        disable_global_tracing()
+        tracer = enable_global_tracing()
+        try:
+            ParallelRunner(max_workers=workers).chaos_replay_runs(
+                SPEC, _chaos_plan(), instances=2, seed=47
+            )
+            shapes.append(_span_name_tree(tracer))
+        finally:
+            disable_global_tracing()
+    assert shapes[0] == shapes[1]
+    names = [name for name, _ in shapes[0]]
+    assert names.count("harness.chaos_task") == 2

@@ -1,0 +1,113 @@
+"""Property-based invariants of fault-injected trace replays.
+
+Random instances, random schemes, random crash windows: whatever the
+plan, a crashed site serves nothing, every request is accounted for
+exactly once, metrics stay finite, and an empty plan is invisible.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import CrashWindow, FaultInjector, FaultPlan, ReplicaSystem
+from repro.workload import generate_trace
+from repro.workload.trace import READ
+from tests.strategies import instances_with_schemes
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+@st.composite
+def crash_plans(draw, num_sites: int):
+    """A plan of 1-3 crash windows over sites of an ``num_sites`` system."""
+    windows = []
+    for _ in range(draw(st.integers(1, 3))):
+        site = draw(st.integers(0, num_sites - 1))
+        start = draw(st.floats(0.0, 0.9, allow_nan=False))
+        open_ended = draw(st.booleans())
+        end = None
+        if not open_ended:
+            end = start + draw(
+                st.floats(0.05, 1.0, allow_nan=False)
+            )
+        windows.append(CrashWindow(site=site, start=start, end=end))
+    return FaultPlan(crashes=tuple(windows))
+
+
+@SETTINGS
+@given(instances_with_schemes(), st.data())
+def test_crashed_site_never_serves(pair, data):
+    instance, scheme = pair
+    plan = data.draw(crash_plans(instance.num_sites))
+    trace = generate_trace(instance, rng=data.draw(st.integers(0, 2**16)))
+
+    system = ReplicaSystem(instance, scheme)
+    injector = FaultInjector(plan)
+    rejected_while_down = 0
+    for request in trace:
+        injector.advance_to(request.time, system)
+        down = system.failed_sites
+        before = system.metrics.rejected_reads + system.metrics.rejected_writes
+        system.handle_request(request)
+        after = system.metrics.rejected_reads + system.metrics.rejected_writes
+        if request.site in down:
+            # a request issued at a crashed site must be rejected
+            assert after == before + 1
+            rejected_while_down += 1
+    injector.drain(system)
+    assert (
+        system.metrics.rejected_reads + system.metrics.rejected_writes
+        >= rejected_while_down
+    )
+
+
+@SETTINGS
+@given(instances_with_schemes(), st.data())
+def test_requests_partition_into_served_and_rejected(pair, data):
+    instance, scheme = pair
+    plan = data.draw(crash_plans(instance.num_sites))
+    trace = generate_trace(instance, rng=data.draw(st.integers(0, 2**16)))
+
+    system = ReplicaSystem(instance, scheme)
+    system.replay(trace, injector=FaultInjector(plan))
+    metrics = system.metrics
+
+    reads = sum(1 for r in trace if r.kind == READ)
+    writes = len(trace) - reads
+    # every served request records exactly one latency, every rejected
+    # request records none: the two sides partition the trace
+    assert metrics.read_latencies.count + metrics.rejected_reads == reads
+    assert metrics.write_latencies.count + metrics.rejected_writes == writes
+
+
+@SETTINGS
+@given(instances_with_schemes(), st.data())
+def test_metrics_stay_finite_and_non_negative(pair, data):
+    instance, scheme = pair
+    plan = data.draw(crash_plans(instance.num_sites))
+    trace = generate_trace(instance, rng=data.draw(st.integers(0, 2**16)))
+
+    system = ReplicaSystem(instance, scheme)
+    system.replay(trace, injector=FaultInjector(plan))
+    for key, value in system.metrics.summary().items():
+        assert math.isfinite(value), key
+        assert value >= 0.0, key
+    assert all(v >= 1 for v in system.metrics.fault_events.values())
+
+
+@SETTINGS
+@given(instances_with_schemes(), st.integers(0, 2**16))
+def test_empty_plan_replays_identically(pair, seed):
+    instance, scheme = pair
+    trace = generate_trace(instance, rng=seed)
+
+    plain = ReplicaSystem(instance, scheme.copy())
+    plain.replay(trace)
+    injected = ReplicaSystem(instance, scheme.copy())
+    injected.replay(trace, injector=FaultInjector(FaultPlan.empty()))
+
+    assert plain.metrics.summary() == injected.metrics.summary()
+    assert np.array_equal(plain.scheme.matrix, injected.scheme.matrix)

@@ -108,6 +108,24 @@ def test_stale_read_served_when_primary_down(manual_instance):
     assert system.metrics.rejected_reads == 0
 
 
+def test_last_holder_recovery_restores_reads_without_extra_ntc(system):
+    # object 1's only copy lives at site 1 (its primary)
+    system.fail_site(1)
+    assert system.handle_read(2, 1) == 0.0
+    assert system.metrics.rejected_reads == 1
+    refetches = system.recover_site(1)
+    # the primary copy needs no refetch: recovery must not re-ship the
+    # object to its own holder (that would double-count NTC)
+    assert refetches == 0
+    assert system.metrics.ntc_by_cause[MIGRATION] == 0.0
+    before = system.metrics.total_ntc
+    latency = system.handle_read(2, 1)
+    assert latency > 0.0
+    assert system.metrics.rejected_reads == 1  # no new rejection
+    # size 3 * C(2,1)=2 -> 6: the read pays exactly the normal cost
+    assert system.metrics.total_ntc - before == pytest.approx(6.0)
+
+
 def test_failed_sites_tracked_and_validated(system):
     system.fail_site(1)
     assert system.failed_sites == frozenset({1})
