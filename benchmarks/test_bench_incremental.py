@@ -1,0 +1,150 @@
+"""Incremental vs full-recompute evaluation: wall-clock and identity.
+
+The delta-evaluation refactor's acceptance bar, measured end to end on
+the two algorithms that price the most moves (SRA seeding followed by
+hill climbing):
+
+* all three evaluation modes — incremental evaluator, full recompute
+  (``cache_size=0``), and full recompute behind the memo cache — must
+  produce **bit-identical** schemes and costs;
+* the incremental mode must be at least :data:`SPEEDUP_FLOOR` times
+  faster than full recompute once instances reach
+  :data:`SPEEDUP_ASSERT_MIN_SITES` sites.
+
+Every run writes a ``BENCH_incremental.json`` artifact (path overridable
+via ``BENCH_INCREMENTAL_JSON``) recording per-size timings and both
+speedup ratios, so CI can archive the numbers.  The instance sizes come
+from ``BENCH_INCREMENTAL_SITES`` (comma-separated site counts); the
+default ``60,100`` exercises the assertion, while the CI smoke job runs
+a small instance and only archives the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Tuple
+
+import numpy as np
+
+from repro.algorithms.localsearch import HillClimbing
+from repro.algorithms.sra import SRA
+from repro.core import CostModel
+from repro.workload import WorkloadSpec, generate_instance
+
+#: required end-to-end speedup of incremental vs full-recompute pricing
+SPEEDUP_FLOOR = 3.0
+#: the floor is asserted only at or above this instance size — below it,
+#: fixed per-solve overheads dominate and the ratio is meaningless
+SPEEDUP_ASSERT_MIN_SITES = 60
+
+ARTIFACT_ENV_VAR = "BENCH_INCREMENTAL_JSON"
+SITES_ENV_VAR = "BENCH_INCREMENTAL_SITES"
+#: timing repeats per mode; the minimum is reported (noise is additive)
+REPEATS = 2
+#: moves sampled per hill-climbing iteration — larger than the default 64
+#: so move pricing (the part the refactor accelerates) dominates the
+#: wall-clock rather than per-iteration bookkeeping
+NEIGHBOURHOOD = 128
+
+
+def _site_counts() -> Tuple[int, ...]:
+    raw = os.environ.get(SITES_ENV_VAR)
+    if raw:
+        return tuple(int(token) for token in raw.split(","))
+    return (60, 100)
+
+
+def _solve(instance, incremental: bool, cache_size: int):
+    """SRA + hill-climbing solve under one evaluation mode, timed.
+
+    Each repeat rebuilds the cost model, so every timing covers the same
+    cold-cache work; the minimum over repeats discards scheduler noise.
+    """
+    elapsed = float("inf")
+    for _ in range(REPEATS):
+        model = CostModel(instance, cache_size=cache_size)
+        start = time.perf_counter()
+        sra = SRA(incremental=incremental).run(instance, model)
+        hc = HillClimbing(
+            rng=7, incremental=incremental, neighbourhood=NEIGHBOURHOOD
+        ).run(instance, model)
+        elapsed = min(elapsed, time.perf_counter() - start)
+    return elapsed, sra, hc
+
+
+def test_incremental_vs_full_recompute():
+    records = []
+    for num_sites in _site_counts():
+        num_objects = num_sites * 2
+        spec = WorkloadSpec(
+            num_sites=num_sites,
+            num_objects=num_objects,
+            capacity_ratio=0.25,
+        )
+        instance = generate_instance(spec, rng=123)
+
+        t_inc, sra_inc, hc_inc = _solve(instance, True, 200_000)
+        t_recompute, sra_rec, hc_rec = _solve(instance, False, 0)
+        t_cached, sra_cache, hc_cache = _solve(instance, False, 200_000)
+
+        # Identity first: the speedup is worthless if the modes diverge.
+        for other in (sra_rec, sra_cache):
+            assert sra_inc.total_cost == other.total_cost
+            assert np.array_equal(
+                sra_inc.scheme.matrix, other.scheme.matrix
+            )
+        for other in (hc_rec, hc_cache):
+            assert hc_inc.total_cost == other.total_cost
+            assert np.array_equal(hc_inc.scheme.matrix, other.scheme.matrix)
+
+        vs_recompute = t_recompute / t_inc
+        vs_cached = t_cached / t_inc
+        records.append(
+            {
+                "num_sites": num_sites,
+                "num_objects": num_objects,
+                "capacity_ratio": spec.capacity_ratio,
+                "instance_seed": 123,
+                "hill_climbing_seed": 7,
+                "neighbourhood": NEIGHBOURHOOD,
+                "seconds_incremental": t_inc,
+                "seconds_full_recompute": t_recompute,
+                "seconds_full_cached": t_cached,
+                "speedup_vs_recompute": vs_recompute,
+                "speedup_vs_cached": vs_cached,
+                "sra_cost": sra_inc.total_cost,
+                "hill_climbing_cost": hc_inc.total_cost,
+                "outputs_identical": True,
+            }
+        )
+        print(
+            f"\nM={num_sites} N={num_objects}: "
+            f"inc={t_inc:.2f}s recompute={t_recompute:.2f}s "
+            f"cached={t_cached:.2f}s -> {vs_recompute:.2f}x vs recompute, "
+            f"{vs_cached:.2f}x vs cached"
+        )
+
+    artifact = os.environ.get(ARTIFACT_ENV_VAR, "BENCH_incremental.json")
+    with open(artifact, "w", encoding="utf-8") as fp:
+        json.dump(
+            {
+                "benchmark": "incremental-vs-full",
+                "algorithms": ["SRA", "HillClimbing"],
+                "speedup_floor": SPEEDUP_FLOOR,
+                "speedup_assert_min_sites": SPEEDUP_ASSERT_MIN_SITES,
+                "results": records,
+            },
+            fp,
+            indent=2,
+            sort_keys=True,
+        )
+
+    for record in records:
+        if record["num_sites"] >= SPEEDUP_ASSERT_MIN_SITES:
+            assert record["speedup_vs_recompute"] >= SPEEDUP_FLOOR, (
+                f"M={record['num_sites']}: incremental pricing was only "
+                f"{record['speedup_vs_recompute']:.2f}x faster than full "
+                f"recompute (floor {SPEEDUP_FLOOR}x); see {artifact}"
+            )

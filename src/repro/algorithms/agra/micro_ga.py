@@ -25,6 +25,7 @@ from repro.algorithms.agra.params import AGRAParams, PAPER_AGRA_PARAMS
 from repro.algorithms.gra.operators import single_point_crossover
 from repro.algorithms.gra.selection import stochastic_remainder_selection
 from repro.core.cost import CostModel
+from repro.core.incremental import ObjectColumnState
 from repro.core.problem import DRPInstance
 from repro.errors import ValidationError
 from repro.utils.rng import SeedLike, as_generator
@@ -63,6 +64,7 @@ def run_micro_ga(
     seed_columns: Sequence[np.ndarray] = (),
     params: AGRAParams = PAPER_AGRA_PARAMS,
     rng: SeedLike = None,
+    incremental: bool = True,
 ) -> MicroGAResult:
     """Evolve replica placements for a single object.
 
@@ -78,6 +80,13 @@ def run_micro_ga(
         Columns extracted from previous GRA solutions; fills the
         non-random half of the initial population (cycled if fewer than
         needed).
+    incremental:
+        Evaluate pass-through (un-crossed, possibly mutated) pool members
+        as delta chains off their parent's
+        :class:`~repro.core.incremental.ObjectColumnState` (default);
+        crossover children keep the memoised full-kernel path either
+        way.  Values, RNG consumption and cache accounting are identical
+        with the flag on or off.
     """
     gen = as_generator(rng)
     m = instance.num_sites
@@ -95,17 +104,34 @@ def run_micro_ga(
     v_prime = model.primary_only_object_cost(obj)
     evaluations = 0
 
-    def fitness_of(column: np.ndarray) -> Tuple[float, np.ndarray]:
-        """Fitness with the paper's negative reset to primary-only."""
+    def fitness_of(
+        column: np.ndarray,
+        state: Optional[ObjectColumnState] = None,
+    ) -> Tuple[float, np.ndarray, Optional[ObjectColumnState]]:
+        """Fitness with the paper's negative reset to primary-only.
+
+        With a ``state`` the column is priced by chaining the state's
+        two-nearest structure to it; otherwise through the memoised full
+        kernel.  A negative-fitness reset discards the state — it
+        described the pre-reset column.
+        """
         nonlocal evaluations
         evaluations += 1
-        v = model.object_cost_cached(obj, column)
+        if state is not None:
+            v = state.evaluate(column)
+        else:
+            v = model.object_cost_cached(obj, column)
         if v_prime == 0.0:
-            return 0.0, column
+            return 0.0, column, state
         f = (v_prime - v) / v_prime
         if f < 0.0:
-            return 0.0, _primary_only_column(instance, obj)
-        return f, column
+            return 0.0, _primary_only_column(instance, obj), None
+        return f, column, state
+
+    def fresh_state(column: np.ndarray) -> Optional[ObjectColumnState]:
+        if not incremental:
+            return None
+        return ObjectColumnState(model, obj, column)
 
     # ------------------------------------------------------------------ #
     # initial population: half random, half from previous GRA solutions,
@@ -131,36 +157,49 @@ def run_micro_ga(
     population[-1] = current_column.copy()
 
     fitness: List[float] = []
+    states: List[Optional[ObjectColumnState]] = []
     for i, column in enumerate(population):
-        f, column = fitness_of(column)
+        f, column, state = fitness_of(column, fresh_state(column))
         population[i] = column
         fitness.append(f)
+        states.append(state)
 
     elite_f = max(fitness)
-    elite = population[int(np.argmax(fitness))].copy()
+    elite_idx = int(np.argmax(fitness))
+    elite = population[elite_idx].copy()
+    elite_state = states[elite_idx]
 
     # ------------------------------------------------------------------ #
     # generations
     # ------------------------------------------------------------------ #
     for generation in range(params.generations):
         # Crossover: random pairing; untouched parents pass through
-        # (regular sampling space).
+        # (regular sampling space).  Pass-through members remember their
+        # parent slot so evaluation can delta-chain off its column state;
+        # crossover children mix two parents and are priced fresh.
         order = gen.permutation(pop_size)
         pool: List[np.ndarray] = []
+        pool_parents: List[Optional[int]] = []
         for pos in range(0, pop_size - 1, 2):
-            a = population[order[pos]]
-            b = population[order[pos + 1]]
+            ia = int(order[pos])
+            ib = int(order[pos + 1])
+            a = population[ia]
+            b = population[ib]
             if gen.random() < params.crossover_rate:
                 child_a, child_b = single_point_crossover(m, a, b, gen)
                 child_a[primary] = True
                 child_b[primary] = True
                 pool.append(child_a)
                 pool.append(child_b)
+                pool_parents.extend((None, None))
             else:
                 pool.append(a.copy())
                 pool.append(b.copy())
+                pool_parents.extend((ia, ib))
         if pop_size % 2 == 1:
-            pool.append(population[order[-1]].copy())
+            ia = int(order[-1])
+            pool.append(population[ia].copy())
+            pool_parents.append(ia)
 
         # Mutation: in-place bit flips on the pool, primary bit protected.
         if params.mutation_rate > 0.0:
@@ -169,26 +208,40 @@ def run_micro_ga(
                 flips[primary] = False
                 column[flips] = ~column[flips]
 
-        pool_fitness = []
+        pool_fitness: List[float] = []
+        pool_states: List[Optional[ObjectColumnState]] = []
         for i, column in enumerate(pool):
-            f, column = fitness_of(column)
+            state = None
+            if incremental:
+                parent_idx = pool_parents[i]
+                if parent_idx is not None and states[parent_idx] is not None:
+                    # Chain: clone the parent's state (selection shares
+                    # state objects between slots) and apply the diff.
+                    state = states[parent_idx].clone()
+                else:
+                    state = fresh_state(column)
+            f, column, state = fitness_of(column, state)
             pool[i] = column
             pool_fitness.append(f)
+            pool_states.append(state)
 
         chosen = stochastic_remainder_selection(
             np.asarray(pool_fitness), pop_size, gen
         )
         population = [pool[i].copy() for i in chosen]
         fitness = [pool_fitness[i] for i in chosen]
+        states = [pool_states[i] for i in chosen]
 
         best_idx = int(np.argmax(fitness))
         if fitness[best_idx] > elite_f:
             elite_f = fitness[best_idx]
             elite = population[best_idx].copy()
+            elite_state = states[best_idx]
         if (generation + 1) % params.elite_interval == 0:
             worst = int(np.argmin(fitness))
             population[worst] = elite.copy()
             fitness[worst] = elite_f
+            states[worst] = elite_state
 
     # Guarantee the elite is in the final ranking.
     if elite_f > max(fitness):

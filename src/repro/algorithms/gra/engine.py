@@ -55,6 +55,11 @@ class GRA(ReplicationAlgorithm):
         Random source for all stochastic decisions.
     update_fraction:
         Write-transfer scaling forwarded to the cost model.
+    delta_chains:
+        Evaluate mutation offspring as delta chains from their parent
+        genome (default) instead of full batch pricing; bit-identical
+        results either way — the flag exists for the golden comparison
+        tests and benchmarks.
     """
 
     name = "GRA"
@@ -64,10 +69,12 @@ class GRA(ReplicationAlgorithm):
         params: GAParams = PAPER_PARAMS,
         rng: SeedLike = None,
         update_fraction: float = 1.0,
+        delta_chains: bool = True,
     ) -> None:
         self.params = params
         self._rng = as_generator(rng)
         self._update_fraction = update_fraction
+        self._delta_chains = delta_chains
 
     def make_cost_model(self, instance: DRPInstance) -> CostModel:
         return CostModel(instance, update_fraction=self._update_fraction)
@@ -107,7 +114,9 @@ class GRA(ReplicationAlgorithm):
                     self._rng,
                 )
             )
-        population = Population(instance, model, members)
+        population = Population(
+            instance, model, members, delta_chains=self._delta_chains
+        )
         population.evaluate_all()
         return population
 
@@ -139,8 +148,11 @@ class GRA(ReplicationAlgorithm):
     def _mutation_subpopulation(
         self, instance: DRPInstance, parents: List[Chromosome]
     ) -> List[Chromosome]:
-        return [
-            Chromosome(
+        # Offspring carry a parent link so evaluation can delta-chain off
+        # the parent's per-object costs (only changed columns re-priced).
+        offspring: List[Chromosome] = []
+        for parent in parents:
+            child = Chromosome(
                 mutate(
                     instance,
                     parent.matrix,
@@ -148,8 +160,9 @@ class GRA(ReplicationAlgorithm):
                     self._rng,
                 )
             )
-            for parent in parents
-        ]
+            child.parent = parent
+            offspring.append(child)
+        return offspring
 
     def evolve(
         self,

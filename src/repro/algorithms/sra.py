@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.algorithms.base import ReplicationAlgorithm
 from repro.core.cost import CostModel
+from repro.core.incremental import IncrementalCostEvaluator
 from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
 from repro.errors import ValidationError
@@ -52,6 +53,13 @@ class SRA(ReplicationAlgorithm):
         Random source; only consulted when ``site_order="random"``.
     update_fraction:
         Write-transfer scaling forwarded to the cost model (1.0 = paper).
+    incremental:
+        Price benefits off a live
+        :class:`~repro.core.incremental.IncrementalCostEvaluator` (the
+        default) or off the legacy hand-rolled SN tables.  Both paths
+        produce bit-identical schemes and consume the RNG identically;
+        the flag exists for the golden comparison tests and the
+        incremental-vs-full benchmark.
     """
 
     name = "SRA"
@@ -61,6 +69,7 @@ class SRA(ReplicationAlgorithm):
         site_order: str = ORDER_ROUND_ROBIN,
         rng: SeedLike = None,
         update_fraction: float = 1.0,
+        incremental: bool = True,
     ) -> None:
         if site_order not in (ORDER_ROUND_ROBIN, ORDER_RANDOM):
             raise ValidationError(
@@ -69,6 +78,7 @@ class SRA(ReplicationAlgorithm):
         self._site_order = site_order
         self._rng = as_generator(rng)
         self._update_fraction = update_fraction
+        self._incremental = incremental
         if site_order == ORDER_RANDOM:
             self.name = "SRA(random-order)"
 
@@ -108,10 +118,17 @@ class SRA(ReplicationAlgorithm):
         scheme = ReplicationScheme.primary_only(instance)
         remaining = scheme.remaining_capacity()
 
-        # SN table: nearest replicator of each object per site.  With only
-        # primaries placed, SN[:, k] == SP_k.
-        nearest = np.tile(primaries, (m, 1)).astype(np.int64)
-        nearest_cost = cost[np.arange(m)[:, None], nearest]
+        evaluator: Optional[IncrementalCostEvaluator] = None
+        if self._incremental:
+            # The evaluator maintains the SN distances (two-nearest) and
+            # prices Eq. 5 through the shared eq5_benefit arithmetic; the
+            # scheme's change listener keeps it current as replicas land.
+            evaluator = IncrementalCostEvaluator(model, scheme)
+        else:
+            # Legacy pre-evaluator path: hand-rolled SN table.  With only
+            # primaries placed, SN[:, k] == SP_k.
+            nearest = np.tile(primaries, (m, 1)).astype(np.int64)
+            nearest_cost = cost[np.arange(m)[:, None], nearest]
 
         # Candidate matrix: L_i as rows.  Objects already held (primaries)
         # are not candidates.
@@ -121,6 +138,7 @@ class SRA(ReplicationAlgorithm):
         steps = 0
         visits = 0
         replicas_created = 0
+        benefit_evaluations = 0
         cursor = 0
 
         while active:
@@ -134,10 +152,14 @@ class SRA(ReplicationAlgorithm):
             cand = candidates[site]
             objs = np.nonzero(cand)[0]
             # Benefit of each candidate (Eq. 5, already divided by o_k).
-            read_gain = reads[site, objs] * nearest_cost[site, objs]
-            other_writes = total_writes[objs] - writes[site, objs]
-            update_cost = uf * other_writes * cost[site, primaries[objs]]
-            benefit = read_gain - update_cost
+            if evaluator is not None:
+                benefit = evaluator.benefits(site, objs)
+            else:
+                read_gain = reads[site, objs] * nearest_cost[site, objs]
+                other_writes = total_writes[objs] - writes[site, objs]
+                update_cost = uf * other_writes * cost[site, primaries[objs]]
+                benefit = read_gain - update_cost
+            benefit_evaluations += int(objs.size)
 
             fits = sizes[objs] <= remaining[site] + 1e-9
             viable = (benefit > 0.0) & fits
@@ -163,10 +185,12 @@ class SRA(ReplicationAlgorithm):
                 replicas_created += 1
                 remaining[site] -= sizes[best]
                 candidates[site, best] = False
-                # Update SN for the new replica's object at every site.
-                closer = cost[:, site] < nearest_cost[:, best]
-                nearest[closer, best] = site
-                nearest_cost[closer, best] = cost[closer, site]
+                if evaluator is None:
+                    # Update SN for the new replica's object at every site
+                    # (the evaluator path does this via its listener).
+                    closer = cost[:, site] < nearest_cost[:, best]
+                    nearest[closer, best] = site
+                    nearest_cost[closer, best] = cost[closer, site]
                 # Objects that no longer fit at this site die lazily on the
                 # next visit; the capacity check above handles them.
 
@@ -179,11 +203,17 @@ class SRA(ReplicationAlgorithm):
             elif self._site_order == ORDER_ROUND_ROBIN:
                 cursor = (pos + 1) % len(active)
 
+        if evaluator is not None:
+            evaluator.detach()
         stats: Dict[str, object] = {
             "site_visits": visits,
             "replication_steps": steps,
             "replicas_created": replicas_created,
             "site_order": self._site_order,
+            "benefit_evaluations": benefit_evaluations,
+            "evaluation_path": (
+                "incremental" if self._incremental else "full"
+            ),
         }
         return scheme, stats
 

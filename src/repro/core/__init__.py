@@ -20,6 +20,11 @@ from repro.core.benefit import (
     replication_benefit,
 )
 from repro.core.fitness import fitness_from_costs, savings_percent
+from repro.core.incremental import (
+    IncrementalCostEvaluator,
+    Move,
+    eq5_benefit,
+)
 from repro.core.strategies import WriteStrategy, compare_strategies
 
 __all__ = [
@@ -28,6 +33,9 @@ __all__ = [
     "DRPInstance",
     "ReplicationScheme",
     "CostModel",
+    "IncrementalCostEvaluator",
+    "Move",
+    "eq5_benefit",
     "replication_benefit",
     "benefit_matrix",
     "deallocation_estimate",

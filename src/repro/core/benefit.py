@@ -25,6 +25,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.incremental import eq5_benefit
 from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
 from repro.errors import ValidationError
@@ -50,18 +51,18 @@ def replication_benefit(
         )
     if nearest is None:
         nearest = int(scheme.nearest_sites(obj)[site])
-    read_gain = float(instance.reads[site, obj]) * float(
-        instance.cost[site, nearest]
-    )
     other_writes = float(instance.writes[:, obj].sum()) - float(
         instance.writes[site, obj]
     )
-    update_cost = (
-        update_fraction
-        * other_writes
-        * float(instance.cost[site, instance.primaries[obj]])
+    # The arithmetic lives in eq5_benefit, shared with the SRA scan, the
+    # incremental evaluator and the distributed site nodes.
+    return eq5_benefit(
+        float(instance.reads[site, obj]),
+        float(instance.cost[site, nearest]),
+        other_writes,
+        float(instance.cost[site, instance.primaries[obj]]),
+        update_fraction,
     )
-    return read_gain - update_cost
 
 
 def benefit_matrix(
@@ -79,16 +80,13 @@ def benefit_matrix(
     total_writes = instance.writes.sum(axis=0)
     for k in range(n):
         nearest = scheme.nearest_sites(k)
-        read_gain = instance.reads[:, k] * instance.cost[
-            np.arange(m), nearest
-        ]
-        other_writes = total_writes[k] - instance.writes[:, k]
-        update_cost = (
-            update_fraction
-            * other_writes
-            * instance.cost[:, instance.primaries[k]]
+        values = eq5_benefit(
+            instance.reads[:, k],
+            instance.cost[np.arange(m), nearest],
+            total_writes[k] - instance.writes[:, k],
+            instance.cost[:, instance.primaries[k]],
+            update_fraction,
         )
-        values = read_gain - update_cost
         held = scheme.matrix[:, k]
         out[:, k] = np.where(held, np.nan, values)
     return out

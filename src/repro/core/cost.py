@@ -116,6 +116,26 @@ class CostModel:
         """The registry this model records into, if any."""
         return self._metrics
 
+    @property
+    def read_weight(self) -> np.ndarray:
+        """Read weight ``r_ik * o_k``, shape ``(M, N)`` (do not mutate)."""
+        return self._read_weight
+
+    @property
+    def write_weight(self) -> np.ndarray:
+        """Scaled write weight ``w_ik * o_k * uf``, shape ``(M, N)``."""
+        return self._write_weight
+
+    @property
+    def total_write_weight(self) -> np.ndarray:
+        """Per-object total write weight ``o_k * uf * sum_x w_xk``."""
+        return self._total_write_weight
+
+    @property
+    def cost_to_primary(self) -> np.ndarray:
+        """``C(i, SP_k)`` for every ``(i, k)``, shape ``(M, N)``."""
+        return self._cost_to_primary
+
     # ------------------------------------------------------------------ #
     # per-object costs
     # ------------------------------------------------------------------ #
@@ -151,15 +171,26 @@ class CostModel:
         )
         return read_term + nonrep_writes + rep_writes
 
-    def object_cost_cached(self, obj: int, column: np.ndarray) -> float:
+    def object_cost_cached(
+        self, obj: int, column: np.ndarray, key: Optional[bytes] = None
+    ) -> float:
         """Memoised :meth:`object_cost` (keyed by the packed column bits).
 
         The memo table is LRU: a hit refreshes the entry's recency, and an
         insert into a full cache evicts only the least-recently-used entry.
+
+        ``key`` may pass the column's packed-bit digest when the caller
+        already owns one (:meth:`ReplicationScheme.column_digest`), which
+        skips the per-lookup ``packbits`` that otherwise dominates the
+        cache's hot path.  It must equal
+        ``np.packbits(column).tobytes()`` — digests and ad-hoc lookups
+        share one key space.
         """
         if self._cache_size == 0:
             return self.object_cost(obj, column)
-        key = (obj, np.packbits(np.asarray(column, dtype=bool)).tobytes())
+        if key is None:
+            key = np.packbits(np.asarray(column, dtype=bool)).tobytes()
+        key = (obj, key)
         hit = self._cache.get(key)
         if hit is not None:
             self._cache.move_to_end(key)
@@ -169,6 +200,32 @@ class CostModel:
         value = self.object_cost(obj, column)
         self._cache_insert(key, value)
         return value
+
+    def cache_lookup(self, obj: int, column: np.ndarray) -> Optional[float]:
+        """Probe the memo table for a column's cost (hit/miss counted).
+
+        Returns ``None`` on a miss (or when caching is disabled).  The
+        incremental chains use this with :meth:`cache_store` so their
+        cache traffic — and therefore :meth:`cache_info` — is identical
+        to pricing through :meth:`object_cost_cached`.
+        """
+        if self._cache_size == 0:
+            return None
+        key = (obj, np.packbits(np.asarray(column, dtype=bool)).tobytes())
+        hit = self._cache.get(key)
+        if hit is not None:
+            self._cache.move_to_end(key)
+            self._record_hit()
+            return hit
+        self._record_miss()
+        return None
+
+    def cache_store(self, obj: int, column: np.ndarray, value: float) -> None:
+        """Insert an externally priced column cost into the memo table."""
+        if self._cache_size == 0:
+            return
+        key = (obj, np.packbits(np.asarray(column, dtype=bool)).tobytes())
+        self._cache_insert(key, float(value))
 
     def _record_hit(self) -> None:
         self._hits += 1
@@ -285,6 +342,17 @@ class CostModel:
                     )
         return unique_costs[inverse]
 
+    def object_cost_kernel(self, obj: int, column: np.ndarray) -> float:
+        """Price one column through the batched kernel (cache-aware).
+
+        Bit-identical to :meth:`object_costs_batch` on a single-row stack
+        but without opening a trace span; the GA delta chains use it so
+        chained and batch-evaluated offspring share one kernel (and one
+        cache) and totals stay bit-identical either way.
+        """
+        column = np.asarray(column, dtype=bool)
+        return float(self._timed_batch(obj, column[None, :], 1)[0])
+
     def population_costs(self, matrices) -> np.ndarray:
         """Total ``D`` of every scheme matrix in ``matrices`` (batched)."""
         mats = [self._as_matrix(m) for m in matrices]
@@ -333,6 +401,16 @@ class CostModel:
     def total_cost(self, scheme: SchemeLike, cached: bool = True) -> float:
         """``D(X)`` — Eq. 4 summed over all objects."""
         mat = self._as_matrix(scheme)
+        if cached and isinstance(scheme, ReplicationScheme):
+            # Scheme-owned digests replace the per-lookup packbits key.
+            return float(
+                sum(
+                    self.object_cost_cached(
+                        k, mat[:, k], key=scheme.column_digest(k)
+                    )
+                    for k in range(self._instance.num_objects)
+                )
+            )
         fn = self.object_cost_cached if cached else self.object_cost
         return float(
             sum(fn(k, mat[:, k]) for k in range(self._instance.num_objects))
@@ -384,10 +462,9 @@ class CostModel:
         """
         if scheme.holds(site, obj):
             raise ValueError(f"site {site} already holds object {obj}")
-        column = scheme.matrix[:, obj].copy()
-        before = self.object_cost_cached(obj, column)
-        column[site] = True
-        return self.object_cost_cached(obj, column) - before
+        from repro.core.incremental import single_add_delta
+
+        return single_add_delta(self, scheme, site, obj)
 
     def drop_delta(
         self, scheme: ReplicationScheme, site: int, obj: int
@@ -397,10 +474,9 @@ class CostModel:
             raise ValueError(f"site {site} does not hold object {obj}")
         if int(self._instance.primaries[obj]) == int(site):
             raise ValueError(f"cannot drop primary copy of object {obj}")
-        column = scheme.matrix[:, obj].copy()
-        before = self.object_cost_cached(obj, column)
-        column[site] = False
-        return self.object_cost_cached(obj, column) - before
+        from repro.core.incremental import single_drop_delta
+
+        return single_drop_delta(self, scheme, site, obj)
 
     # ------------------------------------------------------------------ #
     # decomposition (Eq. 1 and Eq. 2, used by tests and the simulator)

@@ -9,12 +9,16 @@ incrementally so (b) can be checked in O(1) per mutation.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.problem import DRPInstance
 from repro.errors import CapacityError, PrimaryCopyError, ValidationError
+
+#: signature of a scheme change listener: (kind, site, obj) with kind one
+#: of ``"add"`` / ``"drop"``, invoked *after* the mutation landed.
+ChangeListener = Callable[[str, int, int], None]
 
 
 class ReplicationScheme:
@@ -52,6 +56,16 @@ class ReplicationScheme:
         self._x = x
         self._used = x.astype(float) @ instance.sizes
         self._enforce_capacity = enforce_capacity
+        self._listeners: List[ChangeListener] = []
+        # Lazily-built nearest-replicator table: column k of
+        # ``_nearest_cache`` is valid iff ``_nearest_valid[k]``.  An add
+        # patches a valid column in O(M); a drop invalidates it (repaired
+        # on next access, or incrementally by an attached evaluator).
+        self._nearest_cache: Optional[np.ndarray] = None
+        self._nearest_valid: Optional[np.ndarray] = None
+        # Per-column packed-bit digests used as cost-cache keys; computed
+        # once per mutation instead of once per cache lookup.
+        self._digests: Dict[int, bytes] = {}
         if enforce_capacity:
             self.validate()
 
@@ -79,7 +93,31 @@ class ReplicationScheme:
         clone._x = self._x.copy()
         clone._used = self._used.copy()
         clone._enforce_capacity = self._enforce_capacity
+        # Listeners watch *this* scheme, not the clone; caches rebuild
+        # lazily so the clone never aliases mutable state.
+        clone._listeners = []
+        clone._nearest_cache = None
+        clone._nearest_valid = None
+        clone._digests = {}
         return clone
+
+    # ------------------------------------------------------------------ #
+    # change listeners
+    # ------------------------------------------------------------------ #
+    def attach_listener(self, listener: ChangeListener) -> None:
+        """Call ``listener(kind, site, obj)`` after every mutation."""
+        self._listeners.append(listener)
+
+    def detach_listener(self, listener: ChangeListener) -> None:
+        """Remove a previously attached listener (no-op when absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(self, kind: str, site: int, obj: int) -> None:
+        for listener in list(self._listeners):
+            listener(kind, site, obj)
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -139,19 +177,63 @@ class ReplicationScheme:
         """For each site, its nearest replicator of ``obj`` (``SN_ik``).
 
         Ties break toward the lowest site index; a replicator's nearest
-        site is itself (zero-cost read).
+        site is itself (zero-cost read).  Columns are cached and patched
+        incrementally on :meth:`add_replica`, so repeated lookups between
+        mutations are O(1) per column.
         """
+        self._ensure_nearest(obj)
+        return self._nearest_cache[:, obj].copy()
+
+    def _compute_nearest(self, obj: int) -> np.ndarray:
         reps = self.replicators(obj)
         sub = self._instance.cost[:, reps]
         return reps[np.argmin(sub, axis=1)]
 
+    def _ensure_nearest(self, obj: int) -> None:
+        if self._nearest_cache is None:
+            self._nearest_cache = np.empty(
+                (self._instance.num_sites, self._instance.num_objects),
+                dtype=np.int64,
+            )
+            self._nearest_valid = np.zeros(
+                self._instance.num_objects, dtype=bool
+            )
+        if not self._nearest_valid[obj]:
+            self._nearest_cache[:, obj] = self._compute_nearest(obj)
+            self._nearest_valid[obj] = True
+
+    def _patch_nearest_add(self, site: int, obj: int) -> None:
+        """Patch the cached SN column after ``site`` gained ``obj``."""
+        if self._nearest_valid is None or not self._nearest_valid[obj]:
+            return
+        column = self._nearest_cache[:, obj]
+        cost = self._instance.cost
+        current = cost[np.arange(self._instance.num_sites), column]
+        newer = cost[:, site]
+        # Strictly closer wins; on a tie the lowest site index wins, the
+        # same rule argmin applies when rebuilding from scratch.
+        closer = (newer < current) | ((newer == current) & (site < column))
+        column[closer] = site
+
     def nearest_site_matrix(self) -> np.ndarray:
-        """The full ``(M, N)`` nearest-replicator table."""
-        out = np.empty((self._instance.num_sites, self._instance.num_objects),
-                       dtype=np.int64)
+        """The full ``(M, N)`` nearest-replicator table (cached)."""
         for k in range(self._instance.num_objects):
-            out[:, k] = self.nearest_sites(k)
-        return out
+            self._ensure_nearest(k)
+        return self._nearest_cache.copy()
+
+    def column_digest(self, obj: int) -> bytes:
+        """Packed-bit digest of column ``obj``, recomputed per mutation.
+
+        The digest equals ``np.packbits(matrix[:, obj]).tobytes()`` and is
+        what :meth:`repro.core.cost.CostModel.object_cost_cached` uses as
+        its cache key, so scheme-driven cost lookups skip the per-call
+        packing that used to dominate the cache's hot path.
+        """
+        digest = self._digests.get(obj)
+        if digest is None:
+            digest = np.packbits(self._x[:, obj]).tobytes()
+            self._digests[obj] = digest
+        return digest
 
     # ------------------------------------------------------------------ #
     # validity
@@ -199,6 +281,9 @@ class ReplicationScheme:
             )
         self._x[site, obj] = True
         self._used[site] += size
+        self._digests.pop(obj, None)
+        self._patch_nearest_add(site, obj)
+        self._notify("add", site, obj)
 
     def drop_replica(self, site: int, obj: int) -> None:
         """Remove the replica of ``obj`` at ``site``.
@@ -212,6 +297,12 @@ class ReplicationScheme:
             raise PrimaryCopyError(site, obj)
         self._x[site, obj] = False
         self._used[site] -= self._instance.sizes[obj]
+        self._digests.pop(obj, None)
+        if self._nearest_valid is not None:
+            # Sites whose nearest replicator was dropped need a rescan;
+            # repaired lazily on the next access.
+            self._nearest_valid[obj] = False
+        self._notify("drop", site, obj)
 
     # ------------------------------------------------------------------ #
     # comparison / serialisation

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.core.incremental import eq5_benefit
 from repro.core.problem import DRPInstance
 from repro.errors import ProtocolError
 
@@ -65,16 +66,17 @@ class SiteNode:
             raise ProtocolError(
                 f"site {self.site} has no statistics; leader must send STATS"
             )
-        read_gain = float(self._reads_row[obj]) * float(
-            self._cost_row[self.nearest[obj]]
-        )
         other_writes = float(self.write_totals[obj]) - float(
             self._writes_row[obj]
         )
-        update_cost = other_writes * float(
-            self._cost_row[self._primaries[obj]]
+        return float(
+            eq5_benefit(
+                float(self._reads_row[obj]),
+                float(self._cost_row[self.nearest[obj]]),
+                other_writes,
+                float(self._cost_row[self._primaries[obj]]),
+            )
         )
-        return read_gain - update_cost
 
     def greedy_step(self) -> Optional[int]:
         """One SRA step: pick the best candidate, prune dead ones.

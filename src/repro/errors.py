@@ -39,6 +39,25 @@ class PrimaryCopyError(ReproError):
         )
 
 
+class StaleEvaluatorError(ReproError):
+    """An incremental-evaluator move was applied against a changed scheme.
+
+    Raised by :meth:`repro.core.incremental.IncrementalCostEvaluator.apply`
+    when the scheme mutated (directly or through another move) after the
+    move's delta was priced, so applying it would silently account costs
+    against a state that no longer exists.  Re-price the move against the
+    current state instead.
+    """
+
+    def __init__(self, move_version: int, current_version: int) -> None:
+        self.move_version = move_version
+        self.current_version = current_version
+        super().__init__(
+            f"move was priced against evaluator state v{move_version} but "
+            f"the scheme is now at v{current_version}; re-price the move"
+        )
+
+
 class InfeasibleProblemError(ReproError):
     """The DRP instance admits no feasible replication scheme.
 

@@ -27,6 +27,7 @@ from repro.algorithms.agra.engine import AGRA
 from repro.algorithms.agra.params import AGRAParams, PAPER_AGRA_PARAMS
 from repro.algorithms.gra.params import GAParams, PAPER_PARAMS
 from repro.core.cost import CostModel
+from repro.core.incremental import IncrementalCostEvaluator
 from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
 from repro.errors import ValidationError
@@ -102,6 +103,13 @@ class AdaptiveReplicationLoop:
         or before epoch ``i`` apply at the start of epoch ``i``.  While
         sites are down, AGRA reallocation onto them is deferred and
         re-realised once they recover.
+    use_evaluator:
+        Keep one live :class:`~repro.core.incremental.
+        IncrementalCostEvaluator` attached to the deployed scheme across
+        all epochs (default): scheme realisations update it through the
+        change listener and each epoch's drifted patterns are adopted
+        with ``rebind_model`` (O(M*N)) instead of pricing the deployed
+        scheme from scratch.  Results are bit-identical either way.
     """
 
     def __init__(
@@ -115,6 +123,7 @@ class AdaptiveReplicationLoop:
         seed_matrices: Sequence[np.ndarray] = (),
         rng: SeedLike = None,
         fault_plan: Optional[FaultPlan] = None,
+        use_evaluator: bool = True,
     ) -> None:
         if threshold < 0:
             raise ValidationError(f"threshold must be >= 0, got {threshold}")
@@ -136,6 +145,8 @@ class AdaptiveReplicationLoop:
         # A target scheme whose realisation was cut short by failures;
         # retried at every epoch boundary until it fully lands.
         self._pending: Optional[ReplicationScheme] = None
+        self._use_evaluator = use_evaluator
+        self._evaluator: Optional[IncrementalCostEvaluator] = None
 
     # ------------------------------------------------------------------ #
     def run(self, epochs: Sequence[DRPInstance]) -> AdaptiveLoopReport:
@@ -160,7 +171,8 @@ class AdaptiveReplicationLoop:
             measured = self.system.metrics.request_ntc - before_ntc
 
             model = CostModel(epoch_instance)
-            savings = model.savings_percent(self.system.scheme)
+            current_cost = self._deployed_cost(model)
+            savings = self._savings_percent(model, current_cost)
 
             # Monitor: compare observed patterns with the assumed ones.
             changed = detect_changed_objects(
@@ -185,7 +197,7 @@ class AdaptiveReplicationLoop:
                 )
                 adaptation_seconds = result.runtime_seconds
                 # Only realise schemes that actually improve the new cost.
-                if result.total_cost < model.total_cost(self.system.scheme):
+                if result.total_cost < current_cost:
                     migrations, deferred = self._realize(result.scheme, index)
                     adapted = True
                     self._assumed = epoch_instance
@@ -211,6 +223,35 @@ class AdaptiveReplicationLoop:
         )
 
     # ------------------------------------------------------------------ #
+    def _deployed_cost(self, model: CostModel) -> float:
+        """``D`` of the deployed scheme under this epoch's patterns.
+
+        With the live evaluator the deployed scheme's per-object terms
+        are already maintained; adopting the epoch's model is one
+        ``rebind_model`` (the network is fixed across epochs — only
+        patterns drift).  Without it, a full recompute.  Both totals are
+        bit-identical.
+        """
+        if not self._use_evaluator:
+            return model.total_cost(self.system.scheme)
+        if self._evaluator is None:
+            # The evaluator must be born against the scheme's own
+            # instance; the epoch's drifted patterns are adopted right
+            # after through the rebind below.
+            self._evaluator = IncrementalCostEvaluator(
+                CostModel(self.system.scheme.instance),
+                self.system.scheme,
+            )
+        self._evaluator.rebind_model(model)
+        return self._evaluator.total_cost()
+
+    def _savings_percent(self, model: CostModel, cost: float) -> float:
+        """``CostModel.savings_percent`` from an already-known total."""
+        d_prime = model.d_prime()
+        if d_prime == 0.0:
+            return 0.0 if cost == 0.0 else float("-inf")
+        return 100.0 * (d_prime - cost) / d_prime
+
     def _realize(
         self, target: ReplicationScheme, epoch: int
     ) -> "tuple[int, int]":

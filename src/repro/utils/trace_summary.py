@@ -26,6 +26,10 @@ from repro.utils.tracing import EVENT, SPAN, Record, read_trace
 GRA_GENERATION_SPAN = "gra.generation"
 #: event names emitted by AGRA adaptation decisions
 AGRA_DECISION_EVENTS = ("agra.allocate", "agra.deallocate")
+#: span name of one full-kernel batched evaluation
+COST_BATCH_SPAN = "cost.batch"
+#: event name of incremental (delta) pricing reports
+COST_DELTA_EVENT = "cost.delta"
 
 
 @dataclass
@@ -160,6 +164,51 @@ def gra_convergence(summary: TraceSummary) -> List[Dict[str, object]]:
     return rows
 
 
+def evaluation_mix(summary: TraceSummary) -> Optional[Dict[str, object]]:
+    """Full-kernel vs incremental evaluation volumes.
+
+    Full pricing shows up as ``cost.batch`` spans (one per batched
+    kernel call, ``rows`` columns each).  Incremental pricing shows up
+    as ``cost.delta`` events: GA delta chains emit one per batched
+    generation carrying ``chained``, and live evaluators emit a sampled
+    event every ~1024 priced deltas carrying cumulative
+    ``priced``/``applied``/``reverted`` counters (so those columns are
+    lower bounds, refreshed per sample).  ``None`` when the trace holds
+    neither.
+    """
+    batch_calls = 0
+    batch_rows = 0
+    for node in summary.spans:
+        if node.name == COST_BATCH_SPAN:
+            batch_calls += 1
+            batch_rows += int(node.attrs.get("rows", 0) or 0)
+    chained = 0
+    priced = applied = reverted = 0
+    delta_events = 0
+    for event in summary.events:
+        if event.get("name") != COST_DELTA_EVENT:
+            continue
+        delta_events += 1
+        attrs = dict(event.get("attrs") or {})
+        chained += int(attrs.get("chained", 0) or 0)
+        # Cumulative per-evaluator counters: the latest sample carries
+        # the running total, so keep the maximum seen.
+        priced = max(priced, int(attrs.get("priced", 0) or 0))
+        applied = max(applied, int(attrs.get("applied", 0) or 0))
+        reverted = max(reverted, int(attrs.get("reverted", 0) or 0))
+    if not batch_calls and not delta_events:
+        return None
+    return {
+        "full_batch_calls": batch_calls,
+        "full_columns": batch_rows,
+        "delta_events": delta_events,
+        "chained_columns": chained,
+        "priced_deltas": priced,
+        "applied_moves": applied,
+        "reverted_moves": reverted,
+    }
+
+
 def agra_decisions(summary: TraceSummary) -> List[Record]:
     """AGRA allocate/deallocate events in time order."""
     decisions = [
@@ -233,6 +282,22 @@ def render_summary(
                 f" {_fmt(row['seconds'], precision)}"
             )
 
+    mix = evaluation_mix(summary)
+    if mix:
+        lines.append("")
+        lines.append("evaluation mix (full kernel vs incremental):")
+        lines.append(
+            f"  full:        batch_calls={mix['full_batch_calls']} "
+            f"columns={mix['full_columns']}"
+        )
+        lines.append(
+            f"  incremental: chained_columns={mix['chained_columns']} "
+            f"priced_deltas>={mix['priced_deltas']} "
+            f"applied>={mix['applied_moves']} "
+            f"reverted>={mix['reverted_moves']} "
+            f"(events={mix['delta_events']}, sampled)"
+        )
+
     decisions = agra_decisions(summary)
     if decisions:
         lines.append("")
@@ -250,6 +315,8 @@ def render_summary(
 __all__ = [
     "GRA_GENERATION_SPAN",
     "AGRA_DECISION_EVENTS",
+    "COST_BATCH_SPAN",
+    "COST_DELTA_EVENT",
     "SpanNode",
     "TraceSummary",
     "build_tree",
@@ -257,6 +324,7 @@ __all__ = [
     "self_time_by_name",
     "phase_breakdown",
     "gra_convergence",
+    "evaluation_mix",
     "agra_decisions",
     "render_summary",
 ]

@@ -1,0 +1,174 @@
+"""Golden comparisons: every algorithm, incremental on vs off.
+
+The refactor's acceptance bar — identical schemes, identical costs,
+identical RNG consumption (checked through identical stochastic stats)
+whichever evaluation path prices the moves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.agra.engine import AGRA
+from repro.algorithms.agra.micro_ga import run_micro_ga
+from repro.algorithms.agra.params import AGRAParams
+from repro.algorithms.gra.engine import GRA
+from repro.algorithms.gra.params import GAParams
+from repro.algorithms.localsearch import HillClimbing, SimulatedAnnealing
+from repro.algorithms.sra import SRA
+from repro.core import CostModel
+from repro.sim.adaptive import AdaptiveReplicationLoop
+from repro.workload import WorkloadSpec, generate_instance
+from repro.workload.mutation import apply_pattern_change
+
+
+def _identical(a, b):
+    assert np.array_equal(a.scheme.matrix, b.scheme.matrix)
+    assert a.total_cost == b.total_cost
+
+
+def test_sra_golden(small_instance):
+    on = SRA(incremental=True).run(small_instance, CostModel(small_instance))
+    off = SRA(incremental=False).run(
+        small_instance, CostModel(small_instance)
+    )
+    _identical(on, off)
+    assert on.stats["site_visits"] == off.stats["site_visits"]
+    assert on.stats["evaluation_path"] == "incremental"
+    assert off.stats["evaluation_path"] == "full"
+
+
+def test_hill_climbing_golden(small_instance):
+    on = HillClimbing(rng=11, incremental=True).run(
+        small_instance, CostModel(small_instance)
+    )
+    off = HillClimbing(rng=11, incremental=False).run(
+        small_instance, CostModel(small_instance)
+    )
+    _identical(on, off)
+    assert on.stats["iterations"] == off.stats["iterations"]
+
+
+def test_simulated_annealing_golden(small_instance):
+    on = SimulatedAnnealing(steps=600, rng=12, incremental=True).run(
+        small_instance, CostModel(small_instance)
+    )
+    off = SimulatedAnnealing(steps=600, rng=12, incremental=False).run(
+        small_instance, CostModel(small_instance)
+    )
+    _identical(on, off)
+    assert on.stats["accepted_moves"] == off.stats["accepted_moves"]
+
+
+def test_gra_golden(small_instance):
+    params = GAParams(population_size=8, generations=6)
+
+    def run(chains):
+        algo = GRA(params=params, rng=21, delta_chains=chains)
+        return algo.run(small_instance, algo.make_cost_model(small_instance))
+
+    on, off = run(True), run(False)
+    _identical(on, off)
+    assert (
+        on.stats["best_fitness_history"] == off.stats["best_fitness_history"]
+    )
+    assert (
+        on.stats["mean_fitness_history"] == off.stats["mean_fitness_history"]
+    )
+
+
+def test_micro_ga_golden(small_instance):
+    model_on = CostModel(small_instance)
+    model_off = CostModel(small_instance)
+    obj = 3
+    primary = int(small_instance.primaries[obj])
+    column = np.zeros(small_instance.num_sites, dtype=bool)
+    column[primary] = True
+    params = AGRAParams(population_size=6, generations=10)
+    on = run_micro_ga(
+        small_instance, model_on, obj, column, params=params, rng=31,
+        incremental=True,
+    )
+    off = run_micro_ga(
+        small_instance, model_off, obj, column, params=params, rng=31,
+        incremental=False,
+    )
+    assert on.evaluations == off.evaluations
+    assert on.fitnesses == off.fitnesses
+    for col_on, col_off in zip(on.columns, off.columns):
+        assert np.array_equal(col_on, col_off)
+    # Chained pricing kept even the memo-table accounting identical.
+    assert model_on.cache_info() == model_off.cache_info()
+
+
+def test_agra_golden(small_instance):
+    current = SRA().run(small_instance, CostModel(small_instance)).scheme
+    rng = np.random.default_rng(41)
+    reads = small_instance.reads.copy().astype(float)
+    changed = [1, 4]
+    for k in changed:
+        reads[:, k] = reads[:, k] * 3.0 + rng.integers(
+            0, 4, size=small_instance.num_sites
+        )
+    from repro.core.problem import DRPInstance
+
+    drifted = DRPInstance(
+        cost=small_instance.cost,
+        sizes=small_instance.sizes,
+        capacities=small_instance.capacities,
+        reads=reads,
+        writes=small_instance.writes,
+        primaries=small_instance.primaries,
+    )
+
+    def run(inc):
+        agra = AGRA(
+            params=AGRAParams(population_size=6, generations=6),
+            gra_params=GAParams(population_size=6, generations=4),
+            rng=51,
+            incremental=inc,
+        )
+        return agra.adapt(
+            drifted, current, changed,
+            seed_matrices=[current.matrix], mini_gra_generations=3,
+        )
+
+    on, off = run(True), run(False)
+    _identical(on, off)
+    assert on.stats["micro_evaluations"] == off.stats["micro_evaluations"]
+
+
+def test_adaptive_loop_golden():
+    instance = generate_instance(
+        WorkloadSpec(num_sites=6, num_objects=8, read_low=1, read_high=4,
+                     capacity_ratio=0.3),
+        rng=61,
+    )
+    scheme = SRA().run(instance, CostModel(instance)).scheme
+    epochs = []
+    cur = instance
+    rng = np.random.default_rng(62)
+    for _ in range(2):
+        cur, _ = apply_pattern_change(
+            cur, change_percent=90.0, object_share=0.4, read_share=0.5,
+            rng=rng,
+        )
+        epochs.append(cur)
+
+    def run(use_eval):
+        loop = AdaptiveReplicationLoop(
+            instance, scheme, threshold=0.3, mini_gra_generations=2,
+            agra_params=AGRAParams(population_size=4, generations=4),
+            gra_params=GAParams(population_size=6, generations=4),
+            rng=63, use_evaluator=use_eval,
+        )
+        return loop.run(epochs)
+
+    on, off = run(True), run(False)
+    assert np.array_equal(on.final_scheme.matrix, off.final_scheme.matrix)
+    assert on.savings_series() == off.savings_series()
+    for rec_on, rec_off in zip(on.epochs, off.epochs):
+        assert rec_on.changed_objects == rec_off.changed_objects
+        assert rec_on.adapted == rec_off.adapted
+        assert rec_on.migrations == rec_off.migrations
+        assert rec_on.measured_ntc == rec_off.measured_ntc
