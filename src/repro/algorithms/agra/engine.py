@@ -142,6 +142,10 @@ class AGRA:
             positive value refines with that many mini-GRA generations
             ("AGRA + 5 GRA", "AGRA + 10 GRA").
         """
+        if not isinstance(instance, DRPInstance):
+            # Sparse problems densify here: AGRA's micro-GA and
+            # transcription index the count matrices densely.
+            instance = instance.to_instance()
         changed = sorted({int(k) for k in changed_objects})
         for k in changed:
             if not 0 <= k < instance.num_objects:

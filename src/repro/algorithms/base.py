@@ -6,7 +6,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.core.cost import CostModel
+from repro.core.cost import CostModel, cost_model_for
 from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
 from repro.utils.rng import SeedLike
@@ -86,6 +86,12 @@ class ReplicationAlgorithm(abc.ABC):
 
     name: str = "algorithm"
 
+    #: Whether :meth:`_solve` can consume a sparse problem directly.
+    #: Algorithms without a sparse path get the problem densified by
+    #: :meth:`run` — correct on any size that fits in memory, just not
+    #: memory-bounded.
+    supports_sparse: bool = False
+
     @abc.abstractmethod
     def _solve(
         self, instance: DRPInstance, model: CostModel
@@ -94,7 +100,7 @@ class ReplicationAlgorithm(abc.ABC):
 
     def make_cost_model(self, instance: DRPInstance) -> CostModel:
         """Cost model used for this run; override to change accounting."""
-        return CostModel(instance)
+        return cost_model_for(instance)
 
     def run(
         self,
@@ -106,7 +112,19 @@ class ReplicationAlgorithm(abc.ABC):
         A pre-built ``model`` may be passed to share its per-object cost
         cache across runs on the same instance (the experiment harness
         does this when comparing algorithms).
+
+        Sparse problems are accepted by every algorithm: those with
+        ``supports_sparse`` solve them in their memory-bounded path;
+        the rest transparently densify first (any pre-built sparse
+        model is rebuilt against the densified instance so model and
+        scheme keep sharing one instance).
         """
+        if not isinstance(instance, DRPInstance) and not self.supports_sparse:
+            instance = instance.to_instance()
+            if model is not None and not getattr(
+                model, "has_dense_weights", True
+            ):
+                model = None
         model = model or self.make_cost_model(instance)
         watch = Stopwatch()
         with watch:

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.algorithms.base import ReplicationAlgorithm
-from repro.core.cost import CostModel
+from repro.core.cost import CostModel, cost_model_for
 from repro.core.incremental import IncrementalCostEvaluator
 from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
@@ -63,6 +63,7 @@ class SRA(ReplicationAlgorithm):
     """
 
     name = "SRA"
+    supports_sparse = True
 
     def __init__(
         self,
@@ -83,7 +84,9 @@ class SRA(ReplicationAlgorithm):
             self.name = "SRA(random-order)"
 
     def make_cost_model(self, instance: DRPInstance) -> CostModel:
-        return CostModel(instance, update_fraction=self._update_fraction)
+        return cost_model_for(
+            instance, update_fraction=self._update_fraction
+        )
 
     # ------------------------------------------------------------------ #
     def _solve(
@@ -106,6 +109,8 @@ class SRA(ReplicationAlgorithm):
         model: CostModel,
         tracer,
     ) -> Tuple[ReplicationScheme, Dict[str, object]]:
+        if not isinstance(instance, DRPInstance):
+            return self._solve_sparse(instance, model, tracer)
         m, n = instance.num_sites, instance.num_objects
         cost = instance.cost
         sizes = instance.sizes
@@ -214,6 +219,116 @@ class SRA(ReplicationAlgorithm):
             "evaluation_path": (
                 "incremental" if self._incremental else "full"
             ),
+        }
+        return scheme, stats
+
+
+    # ------------------------------------------------------------------ #
+    def _solve_sparse(
+        self,
+        instance,
+        model: CostModel,
+        tracer,
+    ) -> Tuple[ReplicationScheme, Dict[str, object]]:
+        """Memory-bounded greedy scan over a sparse problem.
+
+        Identical scan mechanics (candidate lists, round-robin cursor,
+        pruning, tie-breaks) and identical benefit arithmetic to the
+        legacy dense path — read/write counts are gathered from the CSR
+        rows instead of dense matrix rows, which is exact, so the
+        resulting scheme matches the densified run bit for bit.  Peak
+        extra memory is one ``(M, N)`` float64 nearest-distance table
+        plus two boolean matrices; the dense ``(M, N)`` int64 count
+        matrices are never built, and neither is the evaluator's
+        four-table two-nearest state.
+        """
+        m, n = instance.num_sites, instance.num_objects
+        cost = instance.cost
+        sizes = instance.sizes
+        reads = instance.reads
+        writes = instance.writes
+        primaries = instance.primaries
+        total_writes = writes.column_sums()
+        uf = self._update_fraction
+
+        scheme = ReplicationScheme.primary_only(instance)
+        remaining = scheme.remaining_capacity()
+
+        # With only primaries placed, SN[:, k] == SP_k.  Advanced
+        # indexing yields a fresh array, updated in place per placement
+        # exactly like the legacy path's table (no replicator-id table:
+        # the scan only ever consumes the distances).
+        nearest_cost = cost[:, primaries]
+
+        candidates = ~scheme.matrix.copy()
+        active = [i for i in range(m) if candidates[i].any()]
+
+        steps = 0
+        visits = 0
+        replicas_created = 0
+        benefit_evaluations = 0
+        cursor = 0
+
+        while active:
+            visits += 1
+            if self._site_order == ORDER_RANDOM:
+                pos = int(self._rng.integers(len(active)))
+            else:
+                pos = cursor % len(active)
+            site = active[pos]
+
+            cand = candidates[site]
+            objs = np.nonzero(cand)[0]
+            # Benefit of each candidate, in the legacy path's exact
+            # operand order — the CSR rows densify to the same integers
+            # the dense matrices hold.
+            reads_row = reads.row_dense(site)
+            writes_row = writes.row_dense(site)
+            read_gain = reads_row[objs] * nearest_cost[site, objs]
+            other_writes = total_writes[objs] - writes_row[objs]
+            update_cost = uf * other_writes * cost[site, primaries[objs]]
+            benefit = read_gain - update_cost
+            benefit_evaluations += int(objs.size)
+
+            fits = sizes[objs] <= remaining[site] + 1e-9
+            viable = (benefit > 0.0) & fits
+
+            dead = objs[(benefit <= 0.0) | ~fits]
+            candidates[site, dead] = False
+
+            if viable.any():
+                steps += 1
+                viable_objs = objs[viable]
+                best = int(viable_objs[np.argmax(benefit[viable])])
+                scheme.add_replica(site, best)
+                if tracer.enabled:
+                    tracer.event(
+                        "sra.place",
+                        site=site,
+                        obj=best,
+                        benefit=float(benefit[viable].max()),
+                        step=steps,
+                    )
+                replicas_created += 1
+                remaining[site] -= sizes[best]
+                candidates[site, best] = False
+                closer = cost[:, site] < nearest_cost[:, best]
+                nearest_cost[closer, best] = cost[closer, site]
+
+            if not candidates[site].any():
+                active.pop(pos)
+                if self._site_order == ORDER_ROUND_ROBIN and active:
+                    cursor = pos % len(active)
+            elif self._site_order == ORDER_ROUND_ROBIN:
+                cursor = (pos + 1) % len(active)
+
+        stats: Dict[str, object] = {
+            "site_visits": visits,
+            "replication_steps": steps,
+            "replicas_created": replicas_created,
+            "site_order": self._site_order,
+            "benefit_evaluations": benefit_evaluations,
+            "evaluation_path": "sparse",
         }
         return scheme, stats
 

@@ -12,9 +12,10 @@ Eq. 1-4 (:class:`CostModel`), the greedy benefit value of Eq. 5
 
 from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
-from repro.core.cost import CostModel
+from repro.core.cost import CostModel, SparseCostModel, cost_model_for
 from repro.core.benefit import (
     benefit_matrix,
+    benefit_matrix_blocked,
     deallocation_estimate,
     deallocation_estimates_for_site,
     replication_benefit,
@@ -33,11 +34,14 @@ __all__ = [
     "DRPInstance",
     "ReplicationScheme",
     "CostModel",
+    "SparseCostModel",
+    "cost_model_for",
     "IncrementalCostEvaluator",
     "Move",
     "eq5_benefit",
     "replication_benefit",
     "benefit_matrix",
+    "benefit_matrix_blocked",
     "deallocation_estimate",
     "deallocation_estimates_for_site",
     "fitness_from_costs",

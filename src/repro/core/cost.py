@@ -136,6 +136,30 @@ class CostModel:
         """``C(i, SP_k)`` for every ``(i, k)``, shape ``(M, N)``."""
         return self._cost_to_primary
 
+    #: whether the full ``(M, N)`` weight matrices are materialised —
+    #: :class:`SparseCostModel` keeps only object-column tiles instead
+    has_dense_weights = True
+
+    # ------------------------------------------------------------------ #
+    # per-object weight columns (the kernels consume these, never the
+    # full matrices, so tile-backed subclasses can swap the storage)
+    # ------------------------------------------------------------------ #
+    def read_weight_col(self, obj: int) -> np.ndarray:
+        """Read weight column ``r_.k * o_k``, shape ``(M,)``."""
+        return self._read_weight[:, obj]
+
+    def write_weight_col(self, obj: int) -> np.ndarray:
+        """Scaled write weight column ``w_.k * o_k * uf``, shape ``(M,)``."""
+        return self._write_weight[:, obj]
+
+    def cost_to_primary_col(self, obj: int) -> np.ndarray:
+        """``C(., SP_k)`` column, shape ``(M,)``."""
+        return self._cost_to_primary[:, obj]
+
+    def total_write_weight_of(self, obj: int) -> float:
+        """Scalar ``o_k * uf * sum_x w_xk`` of one object."""
+        return self._total_write_weight[obj]
+
     # ------------------------------------------------------------------ #
     # per-object costs
     # ------------------------------------------------------------------ #
@@ -159,15 +183,14 @@ class CostModel:
         # Reads: every site reads from its nearest replicator; replicator
         # rows contribute zero because min cost over reps includes self.
         nearest_cost = cost[:, reps].min(axis=1)
-        read_term = float(self._read_weight[:, obj] @ nearest_cost)
+        read_term = float(self.read_weight_col(obj) @ nearest_cost)
         # Writes: non-replicators ship their own writes to the primary;
         # replicators are charged for all writes (own + received updates).
-        to_primary = self._cost_to_primary[:, obj]
-        nonrep_writes = float(
-            self._write_weight[~mask, obj] @ to_primary[~mask]
-        )
+        to_primary = self.cost_to_primary_col(obj)
+        write_w = self.write_weight_col(obj)
+        nonrep_writes = float(write_w[~mask] @ to_primary[~mask])
         rep_writes = float(
-            to_primary[mask].sum() * self._total_write_weight[obj]
+            to_primary[mask].sum() * self.total_write_weight_of(obj)
         )
         return read_term + nonrep_writes + rep_writes
 
@@ -266,9 +289,12 @@ class CostModel:
 
         ``columns`` is a boolean ``(P, M)`` stack.  Duplicate columns are
         collapsed with :func:`numpy.unique`, cached costs are reused, and
-        the remaining fresh columns are priced with one broadcasted
-        min-reduction per ``chunk`` (bounding the temporary
-        ``chunk x M x M`` array).  Equivalent to calling
+        the remaining fresh columns are priced ``chunk`` rows at a time:
+        each row's nearest-replicator distances come from a gather over
+        its replicator set only, so the peak temporary is the
+        ``chunk x M`` nearest table (an earlier revision broadcast a
+        ``chunk x M x M`` masked copy of the cost matrix — half a
+        gigabyte at M=1024).  Equivalent to calling
         :meth:`object_cost_cached` per row; used by GA population
         evaluation where whole generations share columns.
         """
@@ -320,16 +346,23 @@ class CostModel:
                 self._record_hit()
                 unique_costs[idx] = hit
         cost = self._instance.cost
-        to_primary = self._cost_to_primary[:, obj]
-        read_w = self._read_weight[:, obj]
-        write_w = self._write_weight[:, obj]
-        total_w = self._total_write_weight[obj]
+        m = self._instance.num_sites
+        to_primary = self.cost_to_primary_col(obj)
+        read_w = self.read_weight_col(obj)
+        write_w = self.write_weight_col(obj)
+        total_w = self.total_write_weight_of(obj)
         for start in range(0, len(misses), chunk):
             block = misses[start:start + chunk]
             mask = unique[block]  # (b, M)
-            nearest = np.where(
-                mask[:, None, :], cost[None, :, :], np.inf
-            ).min(axis=2)  # (b, M)
+            # Per-row gather over the replicator set: min over the same
+            # value set as the masked broadcast it replaces, so results
+            # are bit-identical while peak memory drops from b*M*M to
+            # b*M (rows without replicators stay at inf, as before).
+            nearest = np.full((len(block), m), np.inf)
+            for offset in range(len(block)):
+                reps = np.nonzero(mask[offset])[0]
+                if reps.size:
+                    nearest[offset] = cost[:, reps].min(axis=1)
             read_term = nearest @ read_w
             nonrep = (~mask) @ (write_w * to_primary)
             rep = (mask @ to_primary) * total_w
@@ -532,6 +565,195 @@ class CostModel:
         self._cache.clear()
 
 
+class SparseCostModel(CostModel):
+    """Blocked-kernel cost evaluator over a sparse workload.
+
+    Accepts a :class:`~repro.workload.sparse.SparseProblem` (or anything
+    whose ``reads``/``writes`` expose ``dense_block``/``column_sums``)
+    and prices Eq. 4 without ever materialising the dense ``(M, N)``
+    weight matrices: object-column **tiles** of width ``tile`` are
+    densified on demand and held in a two-slot LRU, so peak memory is
+    ``O(M * tile)`` on top of the inputs instead of ``O(M * N)``.
+
+    Costs are **bit-identical** to :class:`CostModel` on the densified
+    problem: tiles are built with the exact elementwise expressions of
+    the dense constructor, per-object totals reduce over the same axis
+    with the same length (NumPy's pairwise blocking depends only on the
+    reduction length ``M``), and tile columns keep a non-unit stride —
+    the same BLAS stride class as dense ``(M, N)`` columns — by never
+    producing a width-1 tile (a trailing remainder of one column is
+    merged into the previous tile).  The per-object LRU memo, the batch
+    kernel and the incremental delta machinery are all inherited
+    unchanged: they only consume the per-object column accessors.
+    """
+
+    has_dense_weights = False
+
+    def __init__(
+        self,
+        problem,
+        update_fraction: float = 1.0,
+        cache_size: int = 200_000,
+        metrics: Optional[MetricsRegistry] = None,
+        tile: int = 256,
+    ) -> None:
+        if cache_size < 0:
+            raise ValidationError(
+                f"cache_size must be >= 0, got {cache_size}"
+            )
+        if tile < 2:
+            raise ValidationError(
+                f"tile width must be >= 2 (width-1 tiles change the "
+                f"column stride class), got {tile}"
+            )
+        reads = getattr(problem, "reads", None)
+        if not hasattr(reads, "dense_block"):
+            raise ValidationError(
+                "SparseCostModel needs a sparse problem (reads/writes "
+                "with dense_block); use CostModel for dense instances"
+            )
+        self._instance = problem
+        self._uf = check_fraction(
+            "update_fraction", update_fraction, allow_zero=True
+        )
+        self._cache: "OrderedDict[Tuple[int, bytes], float]" = OrderedDict()
+        self._cache_size = cache_size
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._metrics = metrics
+        self._d_prime_per_object: Optional[np.ndarray] = None
+        n = problem.num_objects
+        width = min(int(tile), n)
+        starts = list(range(0, n, width))
+        # Never leave a width-1 remainder: merge it into the previous
+        # tile (contiguous width-1 columns would take BLAS's unit-stride
+        # dot kernel whose accumulation differs from the strided one).
+        if len(starts) > 1 and n - starts[-1] == 1:
+            starts.pop()
+        self._tile_starts = starts
+        self._tiles: "OrderedDict[int, Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]" = OrderedDict()
+        self._max_tiles = 2
+
+    # ------------------------------------------------------------------ #
+    # tile machinery
+    # ------------------------------------------------------------------ #
+    def _tile(self, obj: int):
+        """``(start, (rw, ww, ctp, tw))`` of the tile holding ``obj``."""
+        starts = self._tile_starts
+        lo, hi = 0, len(starts)
+        while hi - lo > 1:  # rightmost start <= obj
+            mid = (lo + hi) // 2
+            if starts[mid] <= obj:
+                lo = mid
+            else:
+                hi = mid
+        start = starts[lo]
+        entry = self._tiles.get(start)
+        if entry is None:
+            entry = self._build_tile(lo)
+            if len(self._tiles) >= self._max_tiles:
+                self._tiles.popitem(last=False)
+            self._tiles[start] = entry
+        else:
+            self._tiles.move_to_end(start)
+        return start, entry
+
+    def _build_tile(self, pos: int):
+        starts = self._tile_starts
+        start = starts[pos]
+        stop = (
+            starts[pos + 1]
+            if pos + 1 < len(starts)
+            else self._instance.num_objects
+        )
+        inst = self._instance
+        sizes = inst.sizes[start:stop]
+        # The exact elementwise expressions of CostModel.__init__,
+        # restricted to the column slice — elementwise products cannot
+        # depend on the surrounding columns, so every entry matches the
+        # dense weight matrices bit for bit.
+        rw = inst.reads.dense_block(start, stop) * sizes[None, :]
+        ww = (
+            inst.writes.dense_block(start, stop)
+            * sizes[None, :]
+            * self._uf
+        )
+        tw = ww.sum(axis=0)
+        ctp = inst.cost[:, inst.primaries[start:stop]]
+        return rw, ww, ctp, tw
+
+    @property
+    def tile_width(self) -> int:
+        """Nominal object-column tile width of the blocked kernel."""
+        if len(self._tile_starts) > 1:
+            return self._tile_starts[1] - self._tile_starts[0]
+        return self._instance.num_objects
+
+    # ------------------------------------------------------------------ #
+    # column accessors (everything above them is inherited)
+    # ------------------------------------------------------------------ #
+    def read_weight_col(self, obj: int) -> np.ndarray:
+        start, (rw, _, _, _) = self._tile(obj)
+        return rw[:, obj - start]
+
+    def write_weight_col(self, obj: int) -> np.ndarray:
+        start, (_, ww, _, _) = self._tile(obj)
+        return ww[:, obj - start]
+
+    def cost_to_primary_col(self, obj: int) -> np.ndarray:
+        start, (_, _, ctp, _) = self._tile(obj)
+        return ctp[:, obj - start]
+
+    def total_write_weight_of(self, obj: int) -> float:
+        start, (_, _, _, tw) = self._tile(obj)
+        return tw[obj - start]
+
+    # The dense matrix properties would silently re-materialise the
+    # O(M*N) arrays this model exists to avoid; fail loudly instead.
+    def _no_dense(self, name: str):
+        raise ValidationError(
+            f"SparseCostModel does not materialise the dense {name} "
+            f"matrix; use the per-object column accessors"
+        )
+
+    @property
+    def read_weight(self) -> np.ndarray:
+        self._no_dense("read_weight")
+
+    @property
+    def write_weight(self) -> np.ndarray:
+        self._no_dense("write_weight")
+
+    @property
+    def total_write_weight(self) -> np.ndarray:
+        self._no_dense("total_write_weight")
+
+    @property
+    def cost_to_primary(self) -> np.ndarray:
+        self._no_dense("cost_to_primary")
+
+    def read_cost_components(self, scheme: SchemeLike) -> np.ndarray:
+        self._no_dense("read-component")
+
+    def write_cost_components(self, scheme: SchemeLike) -> np.ndarray:
+        self._no_dense("write-component")
+
+
+def cost_model_for(problem, **kwargs) -> CostModel:
+    """The right cost evaluator for ``problem``.
+
+    Dense :class:`~repro.core.problem.DRPInstance` inputs get a
+    :class:`CostModel`; sparse problems get a :class:`SparseCostModel`.
+    ``tile`` is only meaningful for the sparse path and is dropped for
+    dense models.
+    """
+    if isinstance(problem, DRPInstance):
+        kwargs.pop("tile", None)
+        return CostModel(problem, **kwargs)
+    return SparseCostModel(problem, **kwargs)
+
+
 def reference_total_cost(
     instance: DRPInstance,
     scheme: SchemeLike,
@@ -575,4 +797,9 @@ def reference_total_cost(
     return total
 
 
-__all__ = ["CostModel", "reference_total_cost"]
+__all__ = [
+    "CostModel",
+    "SparseCostModel",
+    "cost_model_for",
+    "reference_total_cost",
+]

@@ -223,17 +223,32 @@ class IncrementalCostEvaluator:
         # exactly like CostModel._object_cost does (same views, same
         # strides) so the dot products take the same accumulation path
         # and results stay bit-identical to the full recompute.
-        self._read_weight = model.read_weight
-        self._write_weight = model.write_weight
-        self._ctp_all = model.cost_to_primary
-        self._total_w = model.total_write_weight
-        self._write_totals = self._instance.writes.sum(axis=0)
-        # Object-major contiguous rows for the boolean gathers below.
-        # Gather outputs are freshly contiguous whatever the source
-        # layout, so the dot/sum operands (and hence the bits) are
-        # unchanged — only the gather itself gets cheaper.
-        self._ww_T = np.ascontiguousarray(self._write_weight.T)
-        self._ctp_T = np.ascontiguousarray(self._ctp_all.T)
+        self._dense_weights = getattr(model, "has_dense_weights", True)
+        if self._dense_weights:
+            self._read_weight = model.read_weight
+            self._write_weight = model.write_weight
+            self._ctp_all = model.cost_to_primary
+            self._total_w = model.total_write_weight
+            self._write_totals = self._instance.writes.sum(axis=0)
+            # Object-major contiguous rows for the boolean gathers below.
+            # Gather outputs are freshly contiguous whatever the source
+            # layout, so the dot/sum operands (and hence the bits) are
+            # unchanged — only the gather itself gets cheaper.
+            self._ww_T = np.ascontiguousarray(self._write_weight.T)
+            self._ctp_T = np.ascontiguousarray(self._ctp_all.T)
+        else:
+            # Sparse-backed model: weights stay tiled inside the model
+            # and are fetched per object through the column accessors
+            # (tile columns keep the dense columns' stride class, and
+            # gather outputs are freshly contiguous either way, so the
+            # reductions below are bit-identical to the dense branch).
+            self._read_weight = None
+            self._write_weight = None
+            self._ctp_all = None
+            self._total_w = None
+            self._ww_T = None
+            self._ctp_T = None
+            self._write_totals = self._instance.writes.column_sums()
         self._metrics = model.metrics
 
     # ------------------------------------------------------------------ #
@@ -295,14 +310,23 @@ class IncrementalCostEvaluator:
         # read_term keeps CostModel's exact operands (strided column
         # view) — vector layout can steer BLAS onto a different
         # accumulation path, and this is the one term where that matters.
-        read_term = float(self._read_weight[:, obj] @ d1)
-        to_primary = self._ctp_T[obj]
+        if self._dense_weights:
+            read_term = float(self._read_weight[:, obj] @ d1)
+            to_primary = self._ctp_T[obj]
+            write_col = self._ww_T[obj]
+            total_w = self._total_w[obj]
+        else:
+            model = self._model
+            read_term = float(model.read_weight_col(obj) @ d1)
+            to_primary = model.cost_to_primary_col(obj)
+            write_col = model.write_weight_col(obj)
+            total_w = model.total_write_weight_of(obj)
         nonrep = ~mask
         nonrep_writes = float(
-            self._ww_T[obj][nonrep] @ to_primary[nonrep]
+            write_col[nonrep] @ to_primary[nonrep]
         )
         rep_writes = float(
-            _add_reduce(to_primary[mask]) * self._total_w[obj]
+            _add_reduce(to_primary[mask]) * total_w
         )
         return read_term + nonrep_writes + rep_writes
 
@@ -387,9 +411,17 @@ class IncrementalCostEvaluator:
         :func:`eq5_benefit`, shared with :mod:`repro.core.benefit`.
         """
         inst = self._instance
-        other_writes = self._write_totals[objs] - inst.writes[site, objs]
+        if self._dense_weights:
+            reads_row = inst.reads[site, objs]
+            writes_row = inst.writes[site, objs]
+        else:
+            # Integer gathers from densified rows — exact, so the
+            # benefit arithmetic below is unchanged bit for bit.
+            reads_row = inst.reads.row_dense(site)[objs]
+            writes_row = inst.writes.row_dense(site)[objs]
+        other_writes = self._write_totals[objs] - writes_row
         return eq5_benefit(
-            inst.reads[site, objs],
+            reads_row,
             self._d1[objs, site],
             other_writes,
             inst.cost[site, inst.primaries[objs]],
@@ -543,6 +575,20 @@ class IncrementalCostEvaluator:
         """
         inst = model.instance
         if (
+            inst.num_sites != self._instance.num_sites
+            or inst.num_objects != self._instance.num_objects
+        ):
+            raise StaleEvaluatorError(
+                message=(
+                    f"rebind_model got a problem of shape "
+                    f"({inst.num_sites} sites, {inst.num_objects} "
+                    f"objects) but the evaluator state was built for "
+                    f"({self._instance.num_sites}, "
+                    f"{self._instance.num_objects}); build a fresh "
+                    f"evaluator and re-price the move"
+                )
+            )
+        if (
             not np.array_equal(inst.cost, self._instance.cost)
             or not np.array_equal(inst.sizes, self._instance.sizes)
             or not np.array_equal(inst.primaries, self._instance.primaries)
@@ -625,14 +671,22 @@ def single_drop_delta(
 def _adapter_cost(
     model: CostModel, obj: int, mask: np.ndarray, d1: np.ndarray
 ) -> float:
-    """``CostModel._object_cost`` with the nearest distances precomputed."""
-    read_term = float(model.read_weight[:, obj] @ d1)
-    to_primary = model.cost_to_primary[:, obj]
+    """``CostModel._object_cost`` with the nearest distances precomputed.
+
+    Goes through the per-object column accessors, so it prices dense
+    and sparse-backed (tiled) models alike: for dense models the
+    accessors return the very same column views the original expression
+    indexed, and tile columns share their stride class, so the value is
+    bit-identical either way.
+    """
+    read_term = float(model.read_weight_col(obj) @ d1)
+    to_primary = model.cost_to_primary_col(obj)
+    nonrep = ~mask
     nonrep_writes = float(
-        model.write_weight[~mask, obj] @ to_primary[~mask]
+        model.write_weight_col(obj)[nonrep] @ to_primary[nonrep]
     )
     rep_writes = float(
-        to_primary[mask].sum() * model.total_write_weight[obj]
+        to_primary[mask].sum() * model.total_write_weight_of(obj)
     )
     return read_term + nonrep_writes + rep_writes
 

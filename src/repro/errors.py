@@ -49,13 +49,21 @@ class StaleEvaluatorError(ReproError):
     current state instead.
     """
 
-    def __init__(self, move_version: int, current_version: int) -> None:
+    def __init__(
+        self,
+        move_version: "int | None" = None,
+        current_version: "int | None" = None,
+        message: "str | None" = None,
+    ) -> None:
         self.move_version = move_version
         self.current_version = current_version
-        super().__init__(
-            f"move was priced against evaluator state v{move_version} but "
-            f"the scheme is now at v{current_version}; re-price the move"
-        )
+        if message is None:
+            message = (
+                f"move was priced against evaluator state "
+                f"v{move_version} but the scheme is now at "
+                f"v{current_version}; re-price the move"
+            )
+        super().__init__(message)
 
 
 class InfeasibleProblemError(ReproError):

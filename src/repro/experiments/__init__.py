@@ -20,6 +20,12 @@ from repro.experiments.figures import (
     FIGURES,
     run_figure,
 )
+from repro.experiments.scale import (
+    SCALE_TIERS,
+    ScaleSpec,
+    generate_scale_problem,
+    run_scale,
+)
 from repro.experiments.harness import (
     InstanceAverages,
     average_static_runs,
@@ -42,6 +48,10 @@ __all__ = [
     "MID_PROFILE",
     "PAPER_PROFILE",
     "get_profile",
+    "ScaleSpec",
+    "SCALE_TIERS",
+    "generate_scale_problem",
+    "run_scale",
     "FigureResult",
     "FIGURES",
     "run_figure",

@@ -70,6 +70,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="scale profile: quick (default) or paper",
     )
     parser.add_argument(
+        "--scale",
+        action="append",
+        metavar="TIER",
+        help=(
+            "run the sparse large-instance path at TIER "
+            "(small=128x1k, medium=512x10k, large=1024x10k; repeatable)"
+        ),
+    )
+    parser.add_argument(
         "--parallel",
         type=int,
         default=None,
@@ -140,9 +149,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     figure_ids = sorted(FIGURES) if args.all else (args.figure or [])
     ablation_ids = args.ablation or []
+    scale_tiers = args.scale or []
     if (
         not figure_ids
         and not ablation_ids
+        and not scale_tiers
         and not args.verify_claims
         and not args.export
     ):
@@ -180,6 +191,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             result = run_ablation(ablation_id, profile)
             print(result.render(precision=args.precision))
             print()
+        if scale_tiers:
+            from repro.experiments.scale import run_scale
+
+            for tier in scale_tiers:
+                report = run_scale(tier, seed=args.seed)
+                print(
+                    f"scale[{tier}]: M={report['num_sites']} "
+                    f"N={report['num_objects']} "
+                    f"read_nnz={report['read_nnz']:,} "
+                    f"write_nnz={report['write_nnz']:,}"
+                )
+                print(
+                    f"  SRA savings={report['savings_percent']:.2f}% "
+                    f"replicas=+{report['extra_replicas']} "
+                    f"path={report['evaluation_path']} "
+                    f"gen={report['generate_seconds']:.2f}s "
+                    f"solve={report['solve_seconds']:.2f}s"
+                )
+                print()
         if registry is not None:
             print(render_metrics(registry))
         return 0

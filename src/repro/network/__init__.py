@@ -10,6 +10,7 @@ extra families (tree, ring, star, grid, Waxman) for the examples.
 
 from repro.network.topology import Topology
 from repro.network.shortest_paths import (
+    ShortestPathRowCache,
     all_pairs_dijkstra,
     all_pairs_shortest_paths,
     floyd_warshall,
@@ -38,6 +39,7 @@ __all__ = [
     "link_loads",
     "total_link_cost",
     "hotspots",
+    "ShortestPathRowCache",
     "all_pairs_dijkstra",
     "all_pairs_shortest_paths",
     "floyd_warshall",

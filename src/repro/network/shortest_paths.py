@@ -16,7 +16,8 @@ successor matrix for :func:`reconstruct_path`.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,6 +33,14 @@ def _validated_adjacency(adjacency: np.ndarray) -> np.ndarray:
     if np.any(np.diagonal(mat) != 0.0):
         raise ValidationError("adjacency diagonal must be zero")
     off_diag = mat[~np.eye(mat.shape[0], dtype=bool)]
+    # NaN links must be rejected explicitly: isfinite() below silently
+    # drops them from the positivity check, after which they poison the
+    # relaxation arithmetic (NaN distances with finite successors,
+    # breaking the nxt == -1  <=>  dist == inf invariant).
+    if np.any(np.isnan(off_diag)):
+        raise ValidationError(
+            "link costs must not be NaN (use inf for a missing link)"
+        )
     finite = off_diag[np.isfinite(off_diag)]
     if np.any(finite <= 0):
         raise ValidationError("link costs must be positive")
@@ -158,6 +167,144 @@ def all_pairs_shortest_paths(
     return floyd_warshall(mat)
 
 
+class ShortestPathRowCache:
+    """Memory-bounded all-pairs shortest paths (per-source row LRU).
+
+    Materialising the full ``M x M`` distance *and* successor matrices is
+    the scale bottleneck of :func:`floyd_warshall` — ``O(M^2)`` floats
+    plus ``O(M^2)`` int64 successors, on top of the ``O(M^3)`` time.
+    Most consumers only ever ask for a handful of source rows (the cost
+    model gathers whole rows; path reconstruction walks one row), so
+    this cache runs one binary-heap Dijkstra per *requested* source and
+    keeps at most ``max_rows`` ``(distance, predecessor)`` row pairs in
+    an LRU — peak memory ``O(max_rows * M)`` however large the network.
+
+    Distances are computed by the very same heap loop as
+    :func:`dijkstra` (identical relaxation order and arithmetic), so
+    ``distances(s)`` equals ``dijkstra(adjacency, s)`` bit for bit.
+    """
+
+    def __init__(self, adjacency: np.ndarray, max_rows: int = 64) -> None:
+        if max_rows < 1:
+            raise ValidationError(
+                f"max_rows must be >= 1, got {max_rows}"
+            )
+        self._mat = _validated_adjacency(adjacency)
+        n = self._mat.shape[0]
+        self._n = n
+        # Adjacency lists built once; every cached-row rebuild reuses them.
+        self._neighbors: List[List[Tuple[int, float]]] = [
+            [
+                (j, self._mat[i, j])
+                for j in range(n)
+                if j != i and np.isfinite(self._mat[i, j])
+            ]
+            for i in range(n)
+        ]
+        self._rows: "OrderedDict[int, Tuple[np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
+        self._max_rows = max_rows
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def num_sites(self) -> int:
+        return self._n
+
+    def _row(self, source: int) -> Tuple[np.ndarray, np.ndarray]:
+        if not 0 <= source < self._n:
+            raise ValidationError(
+                f"source {source} out of range [0, {self._n})"
+            )
+        entry = self._rows.get(source)
+        if entry is not None:
+            self._rows.move_to_end(source)
+            self._hits += 1
+            return entry
+        self._misses += 1
+        dist, pred = self._dijkstra_row(source)
+        if len(self._rows) >= self._max_rows:
+            self._rows.popitem(last=False)
+        self._rows[source] = (dist, pred)
+        return dist, pred
+
+    def _dijkstra_row(self, source: int) -> Tuple[np.ndarray, np.ndarray]:
+        # The heap loop of dijkstra(), with predecessor tracking bolted
+        # on (assignments only — the distance arithmetic is untouched,
+        # keeping the rows bit-identical to the standalone function).
+        n = self._n
+        dist = np.full(n, np.inf)
+        dist[source] = 0.0
+        pred = np.full(n, -1, dtype=np.int64)
+        pred[source] = source
+        done = np.zeros(n, dtype=bool)
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        while heap:
+            d, node = heapq.heappop(heap)
+            if done[node]:
+                continue
+            done[node] = True
+            for nbr, cost in self._neighbors[node]:
+                nd = d + cost
+                if nd < dist[nbr]:
+                    dist[nbr] = nd
+                    pred[nbr] = node
+                    heapq.heappush(heap, (nd, nbr))
+        return dist, pred
+
+    def distances(self, source: int) -> np.ndarray:
+        """Shortest-path costs from ``source`` to every site (a copy)."""
+        return self._row(source)[0].copy()
+
+    def distance(self, source: int, target: int) -> float:
+        """Shortest-path cost between one pair (``inf`` if unreachable)."""
+        if not 0 <= target < self._n:
+            raise ValidationError(
+                f"target {target} out of range [0, {self._n})"
+            )
+        return float(self._row(source)[0][target])
+
+    def path(self, source: int, target: int) -> List[int]:
+        """Shortest path ``[source, ..., target]`` from the cached row.
+
+        Raises :class:`TopologyError` when ``target`` is unreachable.
+        """
+        if not 0 <= target < self._n:
+            raise ValidationError(
+                f"target {target} out of range [0, {self._n})"
+            )
+        dist, pred = self._row(source)
+        if source == target:
+            return [source]
+        if not np.isfinite(dist[target]):
+            raise TopologyError(
+                f"site {target} unreachable from site {source}"
+            )
+        path = [target]
+        node = target
+        while node != source:
+            node = int(pred[node])
+            path.append(node)
+            if len(path) > self._n:
+                raise TopologyError(
+                    "cycle detected while reconstructing path"
+                )
+        path.reverse()
+        return path
+
+    def cache_info(self) -> Dict[str, float]:
+        """Diagnostics: cached rows, capacity and hit/miss totals."""
+        lookups = self._hits + self._misses
+        return {
+            "rows": len(self._rows),
+            "capacity": self._max_rows,
+            "hits": self._hits,
+            "misses": self._misses,
+            "hit_rate": (self._hits / lookups) if lookups else 0.0,
+        }
+
+
 def is_metric(cost_matrix: np.ndarray, tolerance: float = 1e-9) -> bool:
     """True when ``cost_matrix`` satisfies the triangle inequality.
 
@@ -181,5 +328,6 @@ __all__ = [
     "dijkstra",
     "all_pairs_dijkstra",
     "all_pairs_shortest_paths",
+    "ShortestPathRowCache",
     "is_metric",
 ]

@@ -98,9 +98,12 @@ class LinkDegradation:
             raise FaultPlanError("link endpoints must be >= 0")
         if self.src == self.dst:
             raise FaultPlanError("cannot degrade a site's link to itself")
-        if not self.factor > 0.0 or not np.isfinite(self.factor):
+        # NaN fails the > comparison, so this also rejects NaN.  inf is
+        # deliberately allowed: an infinitely degraded link delivers
+        # nothing, i.e. the link is severed for the window's duration.
+        if not self.factor > 0.0:
             raise FaultPlanError(
-                f"degradation factor must be finite and > 0, got {self.factor}"
+                f"degradation factor must be > 0, got {self.factor}"
             )
         _check_window(self.start, self.end, "degradation")
 
@@ -268,7 +271,13 @@ class FaultPlan:
                 {
                     "src": d.src,
                     "dst": d.dst,
-                    "factor": d.factor,
+                    # json.dump would emit the bare token `Infinity`,
+                    # which is not valid JSON; a severed link (inf
+                    # factor) is serialised as the sentinel string
+                    # "inf" instead (float("inf") parses it right back).
+                    "factor": (
+                        d.factor if np.isfinite(d.factor) else "inf"
+                    ),
                     "start": d.start,
                     "end": d.end,
                     "symmetric": d.symmetric,
@@ -345,7 +354,10 @@ class FaultPlan:
 
     def save(self, path: str) -> str:
         with open(path, "w", encoding="utf-8") as fp:
-            json.dump(self.to_dict(), fp, indent=2)
+            # allow_nan=False: any non-finite float that slipped past
+            # the sentinel encoding fails loudly here instead of
+            # silently writing the invalid-JSON `Infinity`/`NaN` tokens.
+            json.dump(self.to_dict(), fp, indent=2, allow_nan=False)
             fp.write("\n")
         return path
 
@@ -627,6 +639,16 @@ class FaultInjector:
                 inside[list(part.group)] = True
                 cross = inside[:, None] ^ inside[None, :]
                 unreachable |= cross
+        if multipliers is not None:
+            # An infinitely degraded link is a severed link: mark it
+            # unreachable so requests route around it (or fail) instead
+            # of being accounted at an infinite transfer cost.
+            severed = ~np.isfinite(multipliers)
+            if severed.any():
+                if unreachable is None:
+                    unreachable = severed
+                else:
+                    unreachable |= severed
         system.set_link_faults(multipliers, unreachable)
 
 

@@ -132,8 +132,19 @@ class Histogram:
         return min(max(idx, 0), self.NUM_BUCKETS - 1)
 
     def record(self, value: float, count: int = 1) -> None:
-        """Add ``count`` observations of ``value``."""
+        """Add ``count`` observations of ``value``.
+
+        Non-finite values are rejected *before* any state mutation: the
+        old behaviour let ``inf``/``NaN`` bump ``count``/``total`` and
+        then blow up in the bucket math (``OverflowError`` /
+        ``ValueError``), leaving the histogram corrupted — ``mean()``
+        and ``percentile()`` disagreeing with the bucket contents.
+        """
         value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(
+                f"histogram values must be finite, got {value}"
+            )
         self.count += count
         self.total += value * count
         if value < self.min:

@@ -11,6 +11,7 @@ adds the Zipf-skewed web-like popularity extension.
 from repro.workload.spec import WorkloadSpec
 from repro.workload.generator import generate_instance, generate_instances
 from repro.workload.mutation import PatternChange, apply_pattern_change
+from repro.workload.sparse import SparseCounts, SparseProblem
 from repro.workload.temporal import DiurnalSpec, diurnal_epochs
 from repro.workload.trace import Request, generate_trace
 from repro.workload.zipf import zipf_weights, zipf_read_matrix
@@ -25,6 +26,8 @@ __all__ = [
     "apply_pattern_change",
     "Request",
     "generate_trace",
+    "SparseCounts",
+    "SparseProblem",
     "zipf_weights",
     "zipf_read_matrix",
 ]

@@ -20,9 +20,21 @@ def zipf_weights(num_objects: int, exponent: float = 0.8) -> np.ndarray:
         raise ValidationError(
             f"num_objects must be >= 1, got {num_objects}"
         )
+    # NaN fails every comparison, so `exponent < 0` alone lets NaN (and
+    # inf) straight through to produce an all-NaN (or degenerate)
+    # weight vector; reject non-finite exponents explicitly.
+    if not np.isfinite(exponent):
+        raise ValidationError(
+            f"exponent must be finite, got {exponent}"
+        )
     if exponent < 0:
         raise ValidationError(f"exponent must be >= 0, got {exponent}")
     ranks = np.arange(1, num_objects + 1, dtype=float)
+    # rank^-a == exp(-a * log(rank)) never exceeds 1 for a >= 0 (the
+    # rank-1 weight is exactly 1), so the sum is always in [1, N] —
+    # no overflow and no zero denominator at any N or alpha; large
+    # alpha merely underflows the tail weights to 0, which keeps the
+    # vector normalised and monotone non-increasing.
     weights = ranks ** (-exponent)
     return weights / weights.sum()
 

@@ -259,3 +259,37 @@ def test_object_column_state_requires_replicator(small_instance):
     empty = np.zeros(small_instance.num_sites, dtype=bool)
     with pytest.raises(ValidationError, match="no replicators"):
         ObjectColumnState(model, 0, empty)
+
+
+def test_rebind_model_shape_change_raises_stale_error(small_instance):
+    """Regression: a grown/shrunk problem used to hit the array_equal
+    network check (raising ValidationError, or worse, broadcasting);
+    a shape change means the evaluator state is stale by definition."""
+    from repro.core.problem import DRPInstance
+    from repro.workload import WorkloadSpec, generate_instance
+
+    _, _, ev = _fresh(small_instance)
+    grown = generate_instance(
+        WorkloadSpec(
+            num_sites=small_instance.num_sites + 2,
+            num_objects=small_instance.num_objects + 3,
+            update_ratio=0.05,
+            capacity_ratio=0.3,
+        ),
+        rng=7,
+    )
+    with pytest.raises(StaleEvaluatorError, match="fresh evaluator"):
+        ev.rebind_model(CostModel(grown))
+
+    shrunk = DRPInstance(
+        cost=small_instance.cost[:-1, :-1],
+        sizes=small_instance.sizes,
+        capacities=small_instance.capacities[:-1] + 1000,
+        reads=small_instance.reads[:-1],
+        writes=small_instance.writes[:-1],
+        primaries=np.zeros_like(small_instance.primaries),
+    )
+    with pytest.raises(StaleEvaluatorError, match="fresh evaluator"):
+        ev.rebind_model(CostModel(shrunk))
+    # The evaluator is still usable against its original problem.
+    ev.consistency_check()

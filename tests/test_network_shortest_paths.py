@@ -8,6 +8,7 @@ import pytest
 from repro.errors import TopologyError, ValidationError
 from repro.network.generators import random_mesh_topology, random_tree_topology
 from repro.network.shortest_paths import (
+    ShortestPathRowCache,
     all_pairs_dijkstra,
     all_pairs_shortest_paths,
     dijkstra,
@@ -125,3 +126,112 @@ def test_is_metric_detects_violation():
         ]
     )
     assert not is_metric(bad)  # 0->2->1 costs 2 < direct 10
+
+
+# --------------------------------------------------------------------- #
+# disconnected graphs and NaN adjacency (scale-path bugfix sweep)
+# --------------------------------------------------------------------- #
+def disconnected_adjacency() -> np.ndarray:
+    """Two components: {0, 1} and {2, 3}."""
+    inf = np.inf
+    return np.array(
+        [
+            [0.0, 2.0, inf, inf],
+            [2.0, 0.0, inf, inf],
+            [inf, inf, 0.0, 5.0],
+            [inf, inf, 5.0, 0.0],
+        ]
+    )
+
+
+def test_validation_rejects_nan_links():
+    # Regression: NaN used to slip through validation (NaN compares
+    # False against every bound) and silently poison the closure.
+    adj = line_adjacency()
+    adj[0, 1] = adj[1, 0] = np.nan
+    with pytest.raises(ValidationError):
+        floyd_warshall(adj)
+    with pytest.raises(ValidationError):
+        dijkstra(adj, 0)
+
+
+def test_successors_mark_unreachable_iff_inf():
+    dist, nxt = floyd_warshall(
+        disconnected_adjacency(), return_successors=True
+    )
+    assert np.array_equal(nxt == -1, np.isinf(dist))
+    # reachable pairs reconstruct; unreachable pairs raise
+    assert reconstruct_path(nxt, 0, 1) == [0, 1]
+    assert reconstruct_path(nxt, 2, 3) == [2, 3]
+    with pytest.raises(TopologyError):
+        reconstruct_path(nxt, 0, 2)
+    with pytest.raises(TopologyError):
+        reconstruct_path(nxt, 3, 1)
+
+
+def test_dijkstra_disconnected_distances():
+    dist = dijkstra(disconnected_adjacency(), 0)
+    assert list(dist[:2]) == [0.0, 2.0]
+    assert np.all(np.isinf(dist[2:]))
+
+
+# --------------------------------------------------------------------- #
+# ShortestPathRowCache: memory-bounded per-source closure
+# --------------------------------------------------------------------- #
+class TestShortestPathRowCache:
+    def test_distances_bit_equal_dijkstra(self):
+        topo = random_mesh_topology(18, rng=21)
+        adj = topo.adjacency_matrix()
+        cache = ShortestPathRowCache(adj)
+        for source in range(18):
+            assert np.array_equal(
+                cache.distances(source), dijkstra(adj, source)
+            )
+
+    def test_path_is_a_valid_shortest_path(self):
+        topo = random_mesh_topology(15, rng=22)
+        adj = topo.adjacency_matrix()
+        cache = ShortestPathRowCache(adj)
+        dist = floyd_warshall(adj)
+        for source in range(15):
+            for target in range(15):
+                path = cache.path(source, target)
+                assert path[0] == source and path[-1] == target
+                hops = sum(
+                    adj[a, b] for a, b in zip(path, path[1:])
+                )
+                assert hops == pytest.approx(dist[source, target])
+
+    def test_unreachable_path_raises(self):
+        cache = ShortestPathRowCache(disconnected_adjacency())
+        assert np.isinf(cache.distance(0, 3))
+        with pytest.raises(TopologyError):
+            cache.path(0, 3)
+        assert cache.path(0, 0) == [0]
+
+    def test_lru_eviction_bounds_rows(self):
+        topo = random_mesh_topology(10, rng=23)
+        adj = topo.adjacency_matrix()
+        cache = ShortestPathRowCache(adj, max_rows=3)
+        for source in range(10):
+            cache.distances(source)
+        info = cache.cache_info()
+        assert info["rows"] <= 3
+        assert info["capacity"] == 3
+        assert info["misses"] == 10
+
+    def test_cache_hits_counted(self):
+        cache = ShortestPathRowCache(line_adjacency(), max_rows=2)
+        cache.distances(0)
+        cache.distances(0)
+        cache.distance(0, 2)
+        info = cache.cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 2
+        assert info["hit_rate"] == pytest.approx(2 / 3)
+
+    def test_rejects_nan_adjacency(self):
+        adj = line_adjacency()
+        adj[0, 2] = adj[2, 0] = np.nan
+        with pytest.raises(ValidationError):
+            ShortestPathRowCache(adj)

@@ -378,3 +378,90 @@ class TestMessageFaults:
         assert clock.advance_to(3.0) == []
         assert clock.advance_to(10.0) == [(RECOVER, 1)]
         assert clock.crashed == set()
+
+
+# --------------------------------------------------------------------- #
+# non-finite degradation factors (scale-path bugfix sweep)
+# --------------------------------------------------------------------- #
+class TestSeveredLinks:
+    def test_infinite_factor_is_a_valid_severed_link(self):
+        # Regression: an infinite degradation (a severed link) used to be
+        # rejected at construction even though the injector can model it.
+        link = LinkDegradation(src=0, dst=1, factor=float("inf"))
+        assert link.factor == float("inf")
+
+    def test_nan_zero_and_negative_factors_rejected(self):
+        for bad in (float("nan"), 0.0, -2.0):
+            with pytest.raises(FaultPlanError):
+                LinkDegradation(src=0, dst=1, factor=bad)
+
+    def test_round_trip_preserves_infinite_factor(self, tmp_path):
+        plan = FaultPlan(
+            degradations=(
+                LinkDegradation(
+                    src=0, dst=2, factor=float("inf"), start=0.1, end=0.9
+                ),
+                LinkDegradation(src=1, dst=2, factor=3.0),
+            ),
+        )
+        path = str(tmp_path / "severed.json")
+        plan.save(path)
+        assert load_fault_plan(path) == plan
+
+    def test_saved_json_is_strictly_valid(self, tmp_path):
+        # Regression: ``json.dump`` emits the bare token ``Infinity``,
+        # which is not valid JSON; the plan must serialise a sentinel
+        # that any strict parser accepts.
+        import json
+
+        plan = FaultPlan(
+            degradations=(
+                LinkDegradation(src=0, dst=1, factor=float("inf")),
+            ),
+        )
+        path = str(tmp_path / "strict.json")
+        plan.save(path)
+        text = open(path).read()
+        assert "Infinity" not in text
+        json.loads(
+            text,
+            parse_constant=lambda token: pytest.fail(
+                f"non-strict JSON token {token!r} in saved plan"
+            ),
+        )
+
+    def test_severed_link_marks_unreachable(self, manual_instance):
+        # Regression: an inf multiplier used to leave the link formally
+        # reachable at infinite cost, so reads accounted inf transfer
+        # cost instead of routing around the severed link.
+        system = make_system(manual_instance)
+        plan = FaultPlan(
+            degradations=(
+                LinkDegradation(
+                    src=0, dst=1, factor=float("inf"), start=0.1, end=0.9
+                ),
+            ),
+        )
+        injector = FaultInjector(plan)
+        injector.advance_to(0.5, system)
+        assert not system._reachable(0, 1)
+        assert not system._reachable(1, 0)  # symmetric by default
+        assert system._reachable(0, 2)
+        injector.drain(system)
+        assert system._reachable(0, 1)
+        assert not system.has_link_faults
+
+    def test_finite_degradation_stays_reachable(self, manual_instance):
+        system = make_system(manual_instance)
+        plan = FaultPlan(
+            degradations=(
+                LinkDegradation(
+                    src=0, dst=1, factor=9.0, start=0.1, end=0.9
+                ),
+            ),
+        )
+        FaultInjector(plan).advance_to(0.5, system)
+        assert system._reachable(0, 1)
+        assert system.effective_cost[0, 1] == pytest.approx(
+            manual_instance.cost[0, 1] * 9.0
+        )

@@ -104,3 +104,20 @@ def test_summary_keys():
 def test_validation():
     with pytest.raises(ValidationError):
         SimulationMetrics(num_sites=0, num_objects=1)
+
+
+def test_latency_summary_empty_and_single_observation():
+    # No observations at all: every entry must be a plain finite float
+    # (no ZeroDivisionError, no NaN).
+    empty = SimulationMetrics(num_sites=2, num_objects=1).latency_summary()
+    assert empty["read_count"] == 0.0
+    assert empty["write_count"] == 0.0
+    assert all(value == value and abs(value) != float("inf")
+               for value in empty.values())
+
+    metrics = SimulationMetrics(num_sites=2, num_objects=1)
+    metrics.record_read_latency(7.0)
+    single = metrics.latency_summary()
+    assert single["read_count"] == 1.0
+    assert single["read_mean"] == pytest.approx(7.0)
+    assert single["read_p50"] == single["read_p99"]

@@ -221,3 +221,62 @@ def test_global_registry_lifecycle():
     finally:
         disable_global_metrics()
     assert global_metrics() is None
+
+
+# --------------------------------------------------------------------- #
+# histogram edge cases (scale-path bugfix sweep)
+# --------------------------------------------------------------------- #
+class TestHistogramEdgeCases:
+    def test_nonfinite_values_rejected_before_mutation(self):
+        # Regression: inf/NaN used to bump count/total first and then
+        # blow up in the bucket math, leaving the histogram corrupted.
+        hist = Histogram()
+        hist.record(2.0)
+        for bad in (float("inf"), float("-inf"), float("nan")):
+            with pytest.raises(ValueError):
+                hist.record(bad)
+        assert hist.count == 1
+        assert hist.mean() == pytest.approx(2.0)
+        assert hist.max == pytest.approx(2.0)
+
+    def test_empty_histogram_summary_is_finite(self):
+        hist = Histogram()
+        assert hist.count == 0
+        assert hist.mean() == 0.0
+        assert hist.percentile(50.0) == 0.0
+        assert hist.percentile(99.0) == 0.0
+        summary = hist.summary()
+        assert summary["count"] == 0.0
+        assert summary["mean"] == 0.0
+        assert summary["max"] == 0.0
+        assert all(
+            value == value and abs(value) != float("inf")
+            for value in summary.values()
+        )
+
+    def test_single_observation_summary(self):
+        hist = Histogram()
+        hist.record(5.0)
+        summary = hist.summary()
+        assert summary["count"] == 1.0
+        assert summary["mean"] == pytest.approx(5.0)
+        assert summary["max"] == pytest.approx(5.0)
+        # bucketed percentiles are approximate, but must be close and
+        # identical across all q for a single observation
+        assert summary["p50"] == summary["p95"] == summary["p99"]
+        assert summary["p50"] == pytest.approx(5.0, rel=0.1)
+
+    def test_zero_only_observations(self):
+        hist = Histogram()
+        hist.record(0.0, count=3)
+        assert hist.mean() == 0.0
+        assert hist.percentile(50.0) == 0.0
+        assert hist.summary()["p99"] == 0.0
+
+    def test_percentile_bounds_checked(self):
+        hist = Histogram()
+        hist.record(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(-1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(101.0)

@@ -53,3 +53,65 @@ def test_determinism():
     a = zipf_read_matrix(5, 10, 1000, rng=3)
     b = zipf_read_matrix(5, 10, 1000, rng=3)
     assert np.array_equal(a, b)
+
+
+# --------------------------------------------------------------------- #
+# edge cases of the weight vector (scale-path bugfix sweep)
+# --------------------------------------------------------------------- #
+def test_nonfinite_exponent_rejected():
+    # Regression: NaN/inf exponents used to pass the ``< 0`` guard (NaN
+    # compares False) and produce NaN weight vectors downstream.
+    for bad in (float("nan"), float("inf"), -float("inf")):
+        with pytest.raises(ValidationError):
+            zipf_weights(5, exponent=bad)
+
+
+def test_single_element_is_unit_weight():
+    for exponent in (0.0, 0.8, 50.0):
+        w = zipf_weights(1, exponent=exponent)
+        assert w.shape == (1,)
+        assert w[0] == 1.0
+
+
+def test_extreme_exponent_stays_finite_and_normalised():
+    # The rank-1 term is exactly 1, so the normaliser is always >= 1:
+    # huge exponents underflow the tail instead of overflowing the sum.
+    w = zipf_weights(1000, exponent=500.0)
+    assert np.all(np.isfinite(w))
+    assert w.sum() == pytest.approx(1.0)
+    assert w[0] == pytest.approx(1.0)
+
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    HAVE_HYPOTHESIS = False
+
+
+if HAVE_HYPOTHESIS:
+
+    @given(
+        n=st.integers(min_value=1, max_value=500),
+        exponent=st.floats(
+            min_value=0.0, max_value=50.0, allow_nan=False
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_weights_sum_to_one(n, exponent):
+        w = zipf_weights(n, exponent=exponent)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(w >= 0.0)
+
+    @given(
+        n=st.integers(min_value=2, max_value=500),
+        exponent=st.floats(
+            min_value=0.0, max_value=50.0, allow_nan=False
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_weights_monotone_non_increasing(n, exponent):
+        w = zipf_weights(n, exponent=exponent)
+        assert np.all(np.diff(w) <= 0.0)
