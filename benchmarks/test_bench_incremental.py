@@ -21,7 +21,6 @@ a small instance and only archives the artifact.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from typing import Tuple
@@ -74,7 +73,7 @@ def _solve(instance, incremental: bool, cache_size: int):
     return elapsed, sra, hc
 
 
-def test_incremental_vs_full_recompute():
+def test_incremental_vs_full_recompute(bench_writer):
     records = []
     for num_sites in _site_counts():
         num_objects = num_sites * 2
@@ -127,19 +126,16 @@ def test_incremental_vs_full_recompute():
         )
 
     artifact = os.environ.get(ARTIFACT_ENV_VAR, "BENCH_incremental.json")
-    with open(artifact, "w", encoding="utf-8") as fp:
-        json.dump(
-            {
-                "benchmark": "incremental-vs-full",
-                "algorithms": ["SRA", "HillClimbing"],
-                "speedup_floor": SPEEDUP_FLOOR,
-                "speedup_assert_min_sites": SPEEDUP_ASSERT_MIN_SITES,
-                "results": records,
-            },
-            fp,
-            indent=2,
-            sort_keys=True,
-        )
+    bench_writer(
+        artifact,
+        benchmark="incremental-vs-full",
+        algorithms=["SRA", "HillClimbing"],
+        results=records,
+        extra={
+            "speedup_floor": SPEEDUP_FLOOR,
+            "speedup_assert_min_sites": SPEEDUP_ASSERT_MIN_SITES,
+        },
+    )
 
     for record in records:
         if record["num_sites"] >= SPEEDUP_ASSERT_MIN_SITES:

@@ -19,7 +19,6 @@ it.
 
 from __future__ import annotations
 
-import json
 import os
 import resource
 import time
@@ -85,27 +84,18 @@ def _run_tier(tier: str) -> Dict[str, object]:
     }
 
 
-def _write_artifact(records: List[Dict[str, object]]) -> str:
+def _write_artifact(bench_writer, records: List[Dict[str, object]]) -> str:
+    """Artifact in the unified schema; ``merge_on`` lets the slow large
+    tier accumulate next to previously recorded quick tiers."""
     artifact = os.environ.get(ARTIFACT_ENV_VAR, "BENCH_scale.json")
-    payload = {
-        "benchmark": "scale-path",
-        "algorithm": "SRA",
-        "overlap_identity_checked": True,
-        "results": records,
-    }
-    if os.path.exists(artifact):
-        try:
-            with open(artifact, encoding="utf-8") as fp:
-                existing = json.load(fp).get("results", [])
-        except (ValueError, OSError):
-            existing = []
-        seen = {record["tier"] for record in records}
-        payload["results"] = [
-            record for record in existing if record.get("tier") not in seen
-        ] + records
-    with open(artifact, "w", encoding="utf-8") as fp:
-        json.dump(payload, fp, indent=2, sort_keys=True)
-    return artifact
+    return bench_writer(
+        artifact,
+        benchmark="scale-path",
+        algorithms=["SRA"],
+        results=records,
+        extra={"overlap_identity_checked": True},
+        merge_on="tier",
+    )
 
 
 def test_sparse_bit_identity_on_overlap_size():
@@ -137,7 +127,7 @@ def test_sparse_bit_identity_on_overlap_size():
     assert sparse_run.total_cost == dense_run.total_cost
 
 
-def test_scale_tiers_complete_within_budget():
+def test_scale_tiers_complete_within_budget(bench_writer):
     records = []
     for tier in _tiers():
         record = _run_tier(tier)
@@ -150,15 +140,15 @@ def test_scale_tiers_complete_within_budget():
             f"heap_peak={record['heap_peak_bytes'] / 1e6:.0f}MB "
             f"maxrss={record['ru_maxrss_kb'] / 1024:.0f}MB"
         )
-    artifact = _write_artifact(records)
+    artifact = _write_artifact(bench_writer, records)
     assert os.path.exists(artifact)
 
 
 @pytest.mark.slow
-def test_scale_large_tier_end_to_end():
+def test_scale_large_tier_end_to_end(bench_writer):
     """M=1024, N=10k SRA end to end on the sparse path (the slow tier)."""
     record = _run_tier("large")
-    artifact = _write_artifact([record])
+    artifact = _write_artifact(bench_writer, [record])
     print(
         f"\nscale[large]: gen={record['generate_seconds']:.2f}s "
         f"solve={record['solve_seconds']:.2f}s "

@@ -39,6 +39,7 @@ from repro.algorithms.sra import ORDER_RANDOM, SRA
 from repro.core.cost import CostModel
 from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
+from repro.utils.profiler import current_profiler
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.tracing import current_tracer
 
@@ -184,6 +185,7 @@ class GRA(ReplicationAlgorithm):
         params = self.params
         rng = self._rng
         tracer = current_tracer()
+        profiler = current_profiler()
 
         with tracer.span(
             "gra.evolve",
@@ -207,6 +209,7 @@ class GRA(ReplicationAlgorithm):
                     best=records[0]["best_fitness"],
                     mean=records[0]["mean_fitness"],
                 )
+                profiler.tick()
 
             for gen in range(generations):
                 with tracer.span("gra.generation") as span:
@@ -255,6 +258,7 @@ class GRA(ReplicationAlgorithm):
                         mean=record["mean_fitness"],
                         pool=len(pool),
                     )
+                    profiler.tick()
 
             # Make sure the best-ever solution is present in the final
             # population regardless of the injection cadence.

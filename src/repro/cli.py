@@ -15,12 +15,20 @@ Subcommands:
   figures);
 * ``trace``    — summarise a trace file written by ``--trace`` (top
   spans by self time, per-phase breakdown, GRA convergence, AGRA
-  decisions).
+  decisions);
+* ``bench``    — record the micro-benchmark suite into the
+  ``BENCH_history.jsonl`` ledger (``record``), render a markdown trend
+  table (``report``), and fail on noise-adjusted wall-clock regressions
+  (``check``).
 
 ``solve``, ``simulate`` and ``compare`` accept ``--trace FILE`` (with
 ``--trace-format jsonl|chrome``) to record an execution trace; the
 ``chrome`` format loads directly into Perfetto / ``chrome://tracing``.
-See ``docs/observability.md``.
+They also accept ``--profile FILE`` (deterministic progress-count
+profiles, ``--profile-format collapsed|speedscope``), ``--openmetrics
+FILE`` (OpenMetrics v1 text exposition of the final metric state) and
+``--telemetry FILE`` (JSONL snapshot time series).  See
+``docs/observability.md`` and ``docs/telemetry.md``.
 
 Examples
 --------
@@ -64,6 +72,21 @@ from repro.io import (
     save_scheme,
 )
 from repro.sim import FaultInjector, ReplicaSystem, Simulator, load_fault_plan
+from repro.utils.profiler import (
+    FORMAT_COLLAPSED,
+    PROFILE_FORMATS,
+    disable_global_profiling,
+    enable_global_profiling,
+    global_profiler,
+)
+from repro.utils.telemetry import (
+    JsonlExporter,
+    OpenMetricsExporter,
+    current_sink,
+    disable_global_telemetry,
+    enable_global_telemetry,
+    global_telemetry,
+)
 from repro.utils.tracing import (
     FORMAT_JSONL,
     FORMATS,
@@ -106,6 +129,49 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_profile_args(parser: argparse.ArgumentParser) -> None:
+    """``--profile`` family shared by solve/simulate/compare."""
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="FILE",
+        help="write a deterministic progress-count profile to FILE "
+        "(see docs/telemetry.md)",
+    )
+    parser.add_argument(
+        "--profile-format",
+        choices=sorted(PROFILE_FORMATS),
+        default=FORMAT_COLLAPSED,
+        help="profile file format: collapsed (flamegraph.pl) or "
+        "speedscope (speedscope.app)",
+    )
+    parser.add_argument(
+        "--profile-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="sample one stack per N progress ticks (default 1)",
+    )
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    """``--openmetrics`` / ``--telemetry`` shared export flags."""
+    parser.add_argument(
+        "--openmetrics",
+        default=None,
+        metavar="FILE",
+        help="export final metric state to FILE in OpenMetrics v1 "
+        "text format",
+    )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="FILE",
+        help="append JSONL telemetry snapshots to FILE (one line per "
+        "snapshot; per-epoch for adaptive runs)",
+    )
+
+
 @contextmanager
 def _tracing(args: argparse.Namespace) -> Iterator[None]:
     """Enable tracing around a subcommand when ``--trace`` was given.
@@ -126,6 +192,80 @@ def _tracing(args: argparse.Namespace) -> Iterator[None]:
         print(f"trace written to {path} ({args.trace_format})")
         if not had_tracer:
             disable_global_tracing()
+
+
+@contextmanager
+def _profiling(args: argparse.Namespace) -> Iterator[None]:
+    """Enable the deterministic profiler when ``--profile`` was given.
+
+    The profiler samples the tracer's open-span stack, so global tracing
+    is enabled alongside it (and torn down again if the profiler brought
+    it up implicitly, i.e. without ``--trace``).
+    """
+    path = getattr(args, "profile", None)
+    if not path:
+        yield
+        return
+    had_profiler = global_profiler() is not None
+    had_tracer = global_tracer() is not None
+    profiler = enable_global_profiling(
+        sample_every=getattr(args, "profile_every", 1)
+    )
+    try:
+        yield
+    finally:
+        profiler.write(path, format=args.profile_format)
+        print(f"profile written to {path} ({args.profile_format})")
+        print(profiler.render())
+        if not had_profiler:
+            disable_global_profiling()
+            if not had_tracer:
+                disable_global_tracing()
+
+
+@contextmanager
+def _telemetry(
+    args: argparse.Namespace, registry=None
+) -> Iterator[None]:
+    """Install a telemetry sink when ``--openmetrics``/``--telemetry``
+    was given, exporting one final snapshot on the way out.
+
+    ``registry`` (from ``--metrics``) rides along so kernel counters and
+    timers appear in the export next to the gauges.
+    """
+    openmetrics = getattr(args, "openmetrics", None)
+    jsonl = getattr(args, "telemetry", None)
+    if not openmetrics and not jsonl:
+        yield
+        return
+    had_sink = global_telemetry() is not None
+    sink = enable_global_telemetry(registry=registry)
+    if openmetrics:
+        sink.attach_exporter(OpenMetricsExporter(openmetrics))
+    if jsonl:
+        sink.attach_exporter(JsonlExporter(jsonl))
+    try:
+        yield
+    finally:
+        sink.snapshot()  # final state, even if the body raised
+        sink.close()
+        if openmetrics:
+            print(f"openmetrics written to {openmetrics}")
+        if jsonl:
+            print(f"telemetry snapshots appended to {jsonl}")
+        if not had_sink:
+            disable_global_telemetry()
+
+
+@contextmanager
+def _observability(
+    args: argparse.Namespace, registry=None
+) -> Iterator[None]:
+    """Compose telemetry, profiling and tracing around a subcommand."""
+    with _telemetry(args, registry=registry), _profiling(args), _tracing(
+        args
+    ):
+        yield
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -163,6 +303,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="print cost-kernel cache counters and per-phase timers",
     )
     _add_trace_args(solve)
+    _add_profile_args(solve)
+    _add_telemetry_args(solve)
 
     evaluate = sub.add_parser("evaluate", help="evaluate a saved scheme")
     evaluate.add_argument("scheme")
@@ -187,6 +329,8 @@ def build_parser() -> argparse.ArgumentParser:
         "(see docs/fault_injection.md)",
     )
     _add_trace_args(simulate)
+    _add_profile_args(simulate)
+    _add_telemetry_args(simulate)
 
     compare = sub.add_parser(
         "compare", help="compare algorithms over fresh instances"
@@ -216,6 +360,8 @@ def build_parser() -> argparse.ArgumentParser:
         "fault plan and report degraded-mode NTC and rejections",
     )
     _add_trace_args(compare)
+    _add_profile_args(compare)
+    _add_telemetry_args(compare)
 
     figures = sub.add_parser(
         "figures", help="reproduce the paper's figures (see repro-experiments)"
@@ -231,6 +377,75 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=15,
         help="rows in the top-spans-by-self-time table (default 15)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="record / report / check the benchmark wall-clock ledger",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command")
+
+    def _bench_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--history",
+            default=None,
+            metavar="FILE",
+            help="ledger file (default BENCH_history.jsonl)",
+        )
+
+    record = bench_sub.add_parser(
+        "record", help="run the micro-benchmark suite and append an entry"
+    )
+    _bench_common(record)
+    record.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timing repeats per benchmark; the median is recorded",
+    )
+    record.add_argument(
+        "--label", default="", help="tag this entry (e.g. a commit sha)"
+    )
+    record.add_argument(
+        "--scale-seconds",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="multiply measured times by X before recording (test hook "
+        "for exercising `bench check` with a known slowdown)",
+    )
+
+    report = bench_sub.add_parser(
+        "report", help="print a markdown trend table over the ledger"
+    )
+    _bench_common(report)
+    report.add_argument(
+        "--last", type=int, default=10, help="entries to include"
+    )
+    report.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="also write the markdown to this file",
+    )
+
+    check = bench_sub.add_parser(
+        "check",
+        help="compare the newest entry against a baseline; exit 1 on "
+        "regression",
+    )
+    _bench_common(check)
+    check.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="regression ratio threshold (default 1.25)",
+    )
+    check.add_argument(
+        "--baseline",
+        default=None,
+        help="compare against the latest compatible entry with this "
+        "label instead of the previous entry",
     )
 
     return parser
@@ -258,12 +473,21 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
     registry = MetricsRegistry() if args.metrics else None
     model = CostModel(instance, metrics=registry)
-    with _tracing(args):
+    with _observability(args, registry=registry):
         if args.algorithm == "optimal":
             result = solve_optimal(instance, model)
         else:
             algorithm = ALGORITHMS[args.algorithm](args.seed, args.generations)
             result = algorithm.run(instance, model)
+        sink = current_sink()
+        if sink.enabled:
+            sink.set_gauge("repro_solve_total_cost", result.total_cost)
+            sink.set_gauge("repro_solve_d_prime", result.d_prime)
+            sink.set_gauge(
+                "repro_solve_savings_percent", result.savings_percent
+            )
+            info = model.cache_info()
+            sink.set_gauge("repro_cost_cache_hit_rate", info["hit_rate"])
     print(result.summary())
     print(f"D' = {result.d_prime:,.2f}   D = {result.total_cost:,.2f}")
     if registry is not None:
@@ -308,8 +532,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         # breaks ties in the event queue).
         injector.install(simulator, system)
     system.attach(simulator, trace)
-    with _tracing(args):
+    with _observability(args):
         simulator.run()
+        system.metrics.publish(current_sink())
     analytic = CostModel(instance).total_cost(scheme.matrix)
     measured = system.metrics.request_ntc
     faults_active = plan is not None and not plan.is_empty
@@ -349,7 +574,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     had_metrics = global_metrics() is not None
     registry = enable_global_metrics() if args.metrics else None
     try:
-        with _tracing(args):
+        with _observability(args, registry=registry):
             report = compare_algorithms(
                 instances, factories, seed=args.seed + 1
             )
@@ -436,6 +661,59 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis import regression
+    from repro.experiments.config import get_profile
+
+    command = getattr(args, "bench_command", None)
+    if command not in ("record", "report", "check"):
+        print(
+            "usage: repro bench {record,report,check} ...",
+            file=sys.stderr,
+        )
+        return 2
+    history = args.history or regression.DEFAULT_HISTORY
+    if command == "record":
+        entry = regression.record_entry(
+            repeats=args.repeats or regression.DEFAULT_REPEATS,
+            label=args.label,
+            profile=get_profile().name,
+            scale_seconds=args.scale_seconds,
+        )
+        regression.append_history(history, entry)
+        print(f"recorded {len(entry['benchmarks'])} benchmarks "
+              f"to {history}")
+        for name in sorted(entry["benchmarks"]):
+            seconds = entry["benchmarks"][name]["seconds"]
+            print(f"  {name}: {seconds:.4f}s")
+        return 0
+    if command == "report":
+        text = regression.render_report(
+            regression.load_history(history), last=args.last
+        )
+        print(text, end="")
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fp:
+                fp.write(text)
+            print(f"report written to {args.output}")
+        return 0
+    if command == "check":
+        report = regression.compare_entries(
+            regression.load_history(history),
+            baseline=args.baseline,
+            threshold=args.threshold or regression.DEFAULT_THRESHOLD,
+        )
+        print(report.render())
+        if not report.ok:
+            names = ", ".join(d.name for d in report.regressions)
+            print(f"REGRESSION: {names}", file=sys.stderr)
+            return 1
+        return 0
+    print("usage: repro bench {record,report,check} [options]",
+          file=sys.stderr)
+    return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -447,6 +725,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "figures": _cmd_figures,
         "trace": _cmd_trace,
+        "bench": _cmd_bench,
     }
     handler = handlers.get(args.command)
     if handler is None:

@@ -33,6 +33,7 @@ from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
 from repro.errors import ValidationError
 from repro.utils.metrics import MetricsRegistry
+from repro.utils.profiler import current_profiler
 from repro.utils.tracing import current_tracer
 from repro.utils.validation import check_fraction
 
@@ -307,11 +308,14 @@ class CostModel:
         tracer = current_tracer()
         if tracer.enabled:
             # One span per batched evaluation: coarse enough to stay
-            # cheap, fine enough to localise GA evaluation time.
+            # cheap, fine enough to localise GA evaluation time.  The
+            # profiler ticks inside the span so samples attribute here.
             with tracer.span(
                 "cost.batch", obj=obj, rows=int(columns.shape[0])
             ):
-                return self._timed_batch(obj, columns, chunk)
+                result = self._timed_batch(obj, columns, chunk)
+                current_profiler().tick()
+                return result
         return self._timed_batch(obj, columns, chunk)
 
     def _timed_batch(

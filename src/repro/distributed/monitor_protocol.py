@@ -31,6 +31,7 @@ from repro.distributed.messages import Message, MessageKind, MessageLog
 from repro.distributed.retry import DEFAULT_RETRY_POLICY, RAISE, RetryPolicy
 from repro.errors import RetryExhaustedError, ValidationError
 from repro.sim.faults import FaultPlan, ProtocolFaults
+from repro.utils.telemetry import current_sink
 from repro.utils.tracing import current_tracer
 
 
@@ -193,6 +194,20 @@ class MonitorProtocol:
                 and np.array_equal(self._known_writes, observed_writes)
             )
         )
+        sink = current_sink()
+        if sink.enabled:
+            sink.set_gauge("repro_monitor_rounds", self._rounds)
+            sink.set_gauge(
+                "repro_monitor_retransmissions", self.retransmissions
+            )
+            sink.set_gauge(
+                "repro_monitor_messages", messages, mode=mode
+            )
+            sink.set_gauge(
+                "repro_monitor_counters_shipped", counters, mode=mode
+            )
+            sink.set_gauge("repro_monitor_missing_sites", len(missing))
+            sink.set_gauge("repro_monitor_elections", self.elections)
         return CollectionRound(
             round_index=round_index,
             mode=mode,

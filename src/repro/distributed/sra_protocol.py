@@ -61,6 +61,8 @@ from repro.distributed.node import LeaderNode, SiteNode
 from repro.distributed.retry import DEFAULT_RETRY_POLICY, RAISE, RetryPolicy
 from repro.errors import ProtocolError, RetryExhaustedError, ValidationError
 from repro.sim.faults import FaultPlan, ProtocolFaults
+from repro.utils.profiler import current_profiler
+from repro.utils.telemetry import current_sink
 from repro.utils.tracing import current_tracer
 
 
@@ -168,8 +170,10 @@ class DistributedSRA:
         )
         rounds = 0
         replications = 0
+        profiler = current_profiler()
         while not leader.done:
             rounds += 1
+            profiler.tick()
             if rounds > limit:
                 raise ProtocolError(
                     f"distributed SRA exceeded {limit} token rounds; "
@@ -201,17 +205,48 @@ class DistributedSRA:
             else:
                 leader.advance()
 
-        return DistributedSRAReport(
-            scheme=self._collect_scheme(instance, nodes),
-            log=log,
-            token_rounds=rounds,
-            replications=replications,
-            leader_history=[self.leader_site],
+        return self._publish_report(
+            DistributedSRAReport(
+                scheme=self._collect_scheme(instance, nodes),
+                log=log,
+                token_rounds=rounds,
+                replications=replications,
+                leader_history=[self.leader_site],
+            )
         )
 
     # ------------------------------------------------------------------ #
     # shared pieces
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _publish_report(
+        report: DistributedSRAReport,
+    ) -> DistributedSRAReport:
+        """Export the run's protocol counters to the telemetry sink.
+
+        A no-op (one enabled check) when no sink is installed, so the
+        protocol emulation itself stays cost-free to instrumentation.
+        """
+        sink = current_sink()
+        if sink.enabled:
+            sink.set_gauge("repro_dsra_token_rounds", report.token_rounds)
+            sink.set_gauge("repro_dsra_replications", report.replications)
+            sink.set_gauge("repro_dsra_elections", report.elections)
+            sink.set_gauge("repro_dsra_retries", report.retries)
+            sink.set_gauge("repro_dsra_duplicates", report.duplicates)
+            sink.set_gauge(
+                "repro_dsra_suspected_sites", len(report.suspected_sites)
+            )
+            sink.set_gauge(
+                "repro_dsra_control_cost", report.log.control_cost
+            )
+            sink.set_gauge("repro_dsra_data_cost", report.log.data_cost)
+            for kind, count in report.log.count_by_kind.items():
+                sink.set_gauge(
+                    "repro_dsra_messages", count, kind=kind.value
+                )
+        return report
+
     def _greedy_visit(
         self,
         instance: DRPInstance,
@@ -396,8 +431,10 @@ class DistributedSRA:
         )
         rounds = 0
         replications = 0
+        profiler = current_profiler()
         while not leader.done:
             rounds += 1
+            profiler.tick()
             if rounds > limit:
                 raise ProtocolError(
                     f"distributed SRA exceeded {limit} token rounds; "
@@ -424,17 +461,19 @@ class DistributedSRA:
             else:
                 leader.advance()
 
-        return DistributedSRAReport(
-            scheme=self._collect_scheme(instance, nodes),
-            log=log,
-            token_rounds=rounds,
-            replications=replications,
-            elections=elections,
-            retries=self._retries,
-            duplicates=self._duplicates,
-            total_backoff=self._backoff,
-            suspected_sites=sorted(suspected),
-            leader_history=leader_history,
+        return self._publish_report(
+            DistributedSRAReport(
+                scheme=self._collect_scheme(instance, nodes),
+                log=log,
+                token_rounds=rounds,
+                replications=replications,
+                elections=elections,
+                retries=self._retries,
+                duplicates=self._duplicates,
+                total_backoff=self._backoff,
+                suspected_sites=sorted(suspected),
+                leader_history=leader_history,
+            )
         )
 
     def _suspect(

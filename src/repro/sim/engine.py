@@ -13,6 +13,8 @@ from typing import Callable, Optional
 
 from repro.errors import SimulationError
 from repro.sim.events import Action, EventQueue
+from repro.utils.profiler import current_profiler
+from repro.utils.telemetry import current_sink
 from repro.utils.tracing import current_tracer
 
 
@@ -58,11 +60,15 @@ class Simulator:
         includes t.
         """
         tracer = current_tracer()
+        profiler = current_profiler()
+        sink = current_sink()
         sample = self.trace_sample_every
-        # Two loop bodies so the untraced hot path carries zero per-event
-        # tracing cost (not even a boolean check).
+        # Two loop bodies so the uninstrumented hot path carries zero
+        # per-event tracing/telemetry/profiling cost (not even a boolean
+        # check).
+        instrumented = tracer.enabled or profiler.enabled or sink.enabled
         with tracer.span("sim.run", until=until) as span:
-            if not tracer.enabled:
+            if not instrumented:
                 while self._queue:
                     next_time = self._queue.peek_time()
                     assert next_time is not None
@@ -82,6 +88,7 @@ class Simulator:
                     self.now = event.time
                     event.action()
                     self.events_processed += 1
+                    profiler.tick()
                     if self.events_processed % sample == 0:
                         tracer.event(
                             "sim.progress",
@@ -89,9 +96,17 @@ class Simulator:
                             processed=self.events_processed,
                             pending=len(self._queue),
                         )
+                        sink.set_gauge(
+                            "repro_sim_queue_depth", len(self._queue)
+                        )
             if until is not None and until > self.now:
                 self.now = until
             span.set(processed=self.events_processed, sim_time=self.now)
+            if sink.enabled:
+                sink.set_gauge(
+                    "repro_sim_events_processed", self.events_processed
+                )
+                sink.set_gauge("repro_sim_queue_depth", len(self._queue))
 
     def step(self) -> bool:
         """Process a single event; returns False when the queue is empty."""

@@ -16,13 +16,17 @@ percentiles are bucket-resolution estimates.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.utils.metrics import Histogram
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.utils.telemetry import TelemetrySink
 
 #: transfer cause labels
 READ_FETCH = "read-fetch"
@@ -49,6 +53,7 @@ class SimulationMetrics:
     local_reads: int = field(default=0, init=False)
     rejected_reads: int = field(default=0, init=False)
     rejected_writes: int = field(default=0, init=False)
+    served_stale: int = field(default=0, init=False)
     read_latencies: Histogram = field(init=False)
     write_latencies: Histogram = field(init=False)
     fault_events: Dict[str, int] = field(init=False)
@@ -101,6 +106,11 @@ class SimulationMetrics:
         """A write that could not be applied (writer or primary down)."""
         self.rejected_writes += 1
 
+    def record_served_stale(self) -> None:
+        """A read served from a stale replica (availability over
+        freshness during a primary outage or partition)."""
+        self.served_stale += 1
+
     def record_fault(self, kind: str) -> None:
         """Count one injected fault transition (crash, recovery, ...)."""
         self.fault_events[kind] = self.fault_events.get(kind, 0) + 1
@@ -132,13 +142,24 @@ class SimulationMetrics:
         return self.write_latencies.percentile(q)
 
     def latency_summary(self) -> Dict[str, float]:
-        """p50/p95/p99 (plus mean and count) for reads and writes."""
+        """p50/p95/p99 (plus mean and count) for reads and writes.
+
+        A run with zero completed requests of a kind returns the *same
+        keys* with ``count == 0`` and ``NaN`` for mean and percentiles —
+        an explicit "no data" marker rather than a fabricated 0.0 that
+        would read as a perfect zero-latency run.
+        """
         out: Dict[str, float] = {}
         for kind, hist in (
             ("read", self.read_latencies),
             ("write", self.write_latencies),
         ):
             out[f"{kind}_count"] = float(hist.count)
+            if hist.count == 0:
+                out[f"{kind}_mean"] = math.nan
+                for q in (50.0, 95.0, 99.0):
+                    out[f"{kind}_p{int(q)}"] = math.nan
+                continue
             out[f"{kind}_mean"] = hist.mean()
             for q in (50.0, 95.0, 99.0):
                 out[f"{kind}_p{int(q)}"] = hist.percentile(q)
@@ -159,7 +180,10 @@ class SimulationMetrics:
         }
         # Only present when faults actually fired, so a fault-free run's
         # summary is key-identical to one recorded before fault injection
-        # existed (the empty-plan regression guarantee).
+        # existed (the empty-plan regression guarantee).  Stale serves
+        # follow the same rule — they only happen under faults.
+        if self.served_stale:
+            out["served_stale"] = float(self.served_stale)
         if self.fault_events:
             out.update(
                 {
@@ -168,6 +192,39 @@ class SimulationMetrics:
                 }
             )
         return out
+
+    # ------------------------------------------------------------------ #
+    def publish(self, sink: "TelemetrySink") -> None:
+        """Push the accumulated measurements into a telemetry sink.
+
+        Scalars become plain gauges; per-cause and per-site NTC become
+        labelled gauge series (``repro_sim_ntc_by_cause{cause="..."}``,
+        ``repro_sim_ntc_by_site{site="..."}``); latency quantiles land
+        under ``repro_sim_latency{kind=...,stat=...}``.  A no-op when
+        the sink is disabled.
+        """
+        if not sink.enabled:
+            return
+        sink.set_gauge("repro_sim_total_ntc", self.total_ntc)
+        sink.set_gauge("repro_sim_request_ntc", self.request_ntc)
+        sink.set_gauge("repro_sim_transfers", self.transfers)
+        sink.set_gauge("repro_sim_local_reads", self.local_reads)
+        sink.set_gauge("repro_sim_rejected_reads", self.rejected_reads)
+        sink.set_gauge("repro_sim_rejected_writes", self.rejected_writes)
+        sink.set_gauge("repro_sim_served_stale", self.served_stale)
+        for cause, value in self.ntc_by_cause.items():
+            sink.set_gauge("repro_sim_ntc_by_cause", value, cause=cause)
+        for site, value in enumerate(self.ntc_by_site):
+            sink.set_gauge(
+                "repro_sim_ntc_by_site", float(value), site=site
+            )
+        for kind, value in sorted(self.latency_summary().items()):
+            stat_kind, _, stat = kind.partition("_")
+            sink.set_gauge(
+                "repro_sim_latency", value, kind=stat_kind, stat=stat
+            )
+        for kind, count in sorted(self.fault_events.items()):
+            sink.set_gauge("repro_sim_fault_events", count, kind=kind)
 
 
 __all__ = [

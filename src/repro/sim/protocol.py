@@ -277,6 +277,7 @@ class ReplicaSystem:
                     return latency
                 # primary down or unreachable: serve the stale copy
                 # (availability over freshness during the outage)
+                self.metrics.record_served_stale()
             self.metrics.record_local_read()
             return self.metrics.base_latency
         nearest = self._alive_nearest(site, obj)
@@ -284,12 +285,13 @@ class ReplicaSystem:
             self.metrics.record_rejected_read()  # object unavailable
             return 0.0
         latency = 0.0
-        if (
-            invalidation
-            and not self._valid[nearest, obj]
-            and self._can_refresh(nearest, obj)
-        ):
-            latency += self._refresh_replica(nearest, obj)
+        if invalidation and not self._valid[nearest, obj]:
+            if self._can_refresh(nearest, obj):
+                latency += self._refresh_replica(nearest, obj)
+            else:
+                # the nearest holder cannot refresh either: the fetched
+                # copy is stale-but-available
+                self.metrics.record_served_stale()
         latency += self.metrics.record_transfer(
             READ_FETCH,
             site,

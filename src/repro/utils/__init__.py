@@ -1,4 +1,5 @@
-"""Shared utilities: RNG fan-out, metrics, tracing, tables, timers."""
+"""Shared utilities: RNG fan-out, metrics, tracing, telemetry, profiling,
+tables, timers."""
 
 from repro.utils.metrics import (
     Histogram,
@@ -7,6 +8,26 @@ from repro.utils.metrics import (
     disable_global_metrics,
     enable_global_metrics,
     global_metrics,
+)
+from repro.utils.profiler import (
+    DeterministicProfiler,
+    current_profiler,
+    disable_global_profiling,
+    enable_global_profiling,
+    global_profiler,
+)
+from repro.utils.telemetry import (
+    InMemoryExporter,
+    JsonlExporter,
+    OpenMetricsExporter,
+    TelemetrySink,
+    current_sink,
+    disable_global_telemetry,
+    enable_global_telemetry,
+    global_telemetry,
+    parse_openmetrics,
+    render_openmetrics_snapshot,
+    validate_openmetrics,
 )
 from repro.utils.tracing import (
     Tracer,
@@ -40,6 +61,22 @@ __all__ = [
     "global_tracer",
     "disable_global_tracing",
     "read_trace",
+    "DeterministicProfiler",
+    "current_profiler",
+    "enable_global_profiling",
+    "global_profiler",
+    "disable_global_profiling",
+    "TelemetrySink",
+    "InMemoryExporter",
+    "JsonlExporter",
+    "OpenMetricsExporter",
+    "current_sink",
+    "enable_global_telemetry",
+    "global_telemetry",
+    "disable_global_telemetry",
+    "parse_openmetrics",
+    "render_openmetrics_snapshot",
+    "validate_openmetrics",
     "as_generator",
     "spawn_generators",
     "spawn_seeds",

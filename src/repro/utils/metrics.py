@@ -311,13 +311,26 @@ class MetricsRegistry:
         return dict(self._histograms)
 
     def snapshot(self) -> Snapshot:
-        """A picklable copy of every counter, timer and histogram."""
+        """A picklable copy of every counter, timer and histogram.
+
+        Keys are sorted, not insertion-ordered: two runs that record the
+        same metrics in a different order (e.g. under different thread
+        or sub-process interleavings) must serialise identically, so
+        snapshot-derived artifacts — telemetry JSONL lines, OpenMetrics
+        exports, ``--metrics`` dumps — diff cleanly across runs.
+        """
         return {
-            "counters": self.counters,
-            "timers": self.timers,
+            "counters": {
+                name: self._counters[name]
+                for name in sorted(self._counters)
+            },
+            "timers": {
+                name: dict(self._timers[name])
+                for name in sorted(self._timers)
+            },
             "histograms": {
-                name: hist.to_dict()
-                for name, hist in self._histograms.items()
+                name: self._histograms[name].to_dict()
+                for name in sorted(self._histograms)
             },
         }
 

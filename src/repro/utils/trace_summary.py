@@ -242,7 +242,12 @@ def render_summary(
             "records (raise the tracer capacity for a complete trace)"
         )
     if not summary.spans and not summary.events:
-        lines.append("  (empty trace)")
+        lines.append(
+            "  no spans recorded — the traced run emitted nothing. "
+            "Likely causes: tracing was never enabled (run with "
+            "--trace), or the command finished before any instrumented "
+            "code ran."
+        )
         return "\n".join(lines)
 
     phases = phase_breakdown(summary)

@@ -220,6 +220,14 @@ class Tracer:
         """Id of the innermost open span, if any."""
         return self._stack[-1].id if self._stack else None
 
+    def open_span_names(self) -> "tuple[str, ...]":
+        """Names of the currently open spans, outermost first.
+
+        The deterministic profiler samples this stack: names carry no
+        ids or timestamps, so identical runs yield identical stacks.
+        """
+        return tuple(handle.name for handle in self._stack)
+
     # ------------------------------------------------------------------ #
     # access / aggregation
     # ------------------------------------------------------------------ #

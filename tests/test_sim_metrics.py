@@ -106,18 +106,27 @@ def test_validation():
         SimulationMetrics(num_sites=0, num_objects=1)
 
 
-def test_latency_summary_empty_and_single_observation():
-    # No observations at all: every entry must be a plain finite float
-    # (no ZeroDivisionError, no NaN).
+def test_latency_summary_empty_is_explicit_nan():
+    # Zero completed requests: the summary keeps the exact same keys,
+    # reports count == 0 and marks mean/percentiles NaN — an explicit
+    # "no data" rather than a fabricated 0.0 that would read as a
+    # perfect zero-latency run.
     empty = SimulationMetrics(num_sites=2, num_objects=1).latency_summary()
     assert empty["read_count"] == 0.0
     assert empty["write_count"] == 0.0
-    assert all(value == value and abs(value) != float("inf")
-               for value in empty.values())
+    for kind in ("read", "write"):
+        for stat in ("mean", "p50", "p95", "p99"):
+            value = empty[f"{kind}_{stat}"]
+            assert value != value, f"{kind}_{stat} should be NaN"
 
+    # Key identity with a populated summary (the schema is stable).
     metrics = SimulationMetrics(num_sites=2, num_objects=1)
     metrics.record_read_latency(7.0)
     single = metrics.latency_summary()
+    assert set(single) == set(empty)
     assert single["read_count"] == 1.0
     assert single["read_mean"] == pytest.approx(7.0)
     assert single["read_p50"] == single["read_p99"]
+    # The write side is still empty and still NaN-marked.
+    assert single["write_count"] == 0.0
+    assert single["write_mean"] != single["write_mean"]

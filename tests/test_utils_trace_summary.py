@@ -87,7 +87,20 @@ def test_render_summary_warns_on_truncation():
 
 def test_render_summary_empty_trace():
     summary = build_tree([])
-    assert "(empty trace)" in render_summary(summary)
+    text = render_summary(summary)
+    assert "no spans recorded" in text
+    assert "--trace" in text  # tells the user how to get a real trace
+
+
+def test_cli_trace_on_empty_file_prints_summary(tmp_path, capsys):
+    """`repro trace` on an empty/tracing-disabled file must not raise."""
+    from repro.cli import main
+
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert main(["trace", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "no spans recorded" in out
 
 
 def test_self_time_by_name_ranks_leaves_above_containers():
