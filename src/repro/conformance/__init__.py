@@ -1,0 +1,82 @@
+"""Differential conformance harness: oracles, invariants, corpus, shrinker.
+
+The repo evaluates the paper's Eq. 3/Eq. 4 objective through four
+independent code paths — the dense :class:`~repro.core.cost.CostModel`,
+the blocked :class:`~repro.core.cost.SparseCostModel`, the
+:class:`~repro.core.incremental.IncrementalCostEvaluator` delta replay
+and SRA's sparse solve — all promised bit-identical.  This package turns
+that promise into an always-on contract:
+
+* :mod:`repro.conformance.corpus` — a deterministic, seeded scenario
+  generator spanning topology, workload and fault-plan space;
+* :mod:`repro.conformance.invariants` — a registry of machine-checkable
+  properties every scenario must satisfy (feasibility, optimality lower
+  bounds, benefit ordering, Eq. 5/Eq. 6 consistency, adaptive
+  non-worsening, distributed-vs-centralised SRA equivalence);
+* :mod:`repro.conformance.oracle` — the differential oracle that runs a
+  scenario through every evaluation path and asserts bit-identity where
+  guaranteed (documented tolerances elsewhere);
+* :mod:`repro.conformance.shrink` — a greedy delta-debugging minimiser
+  that reduces any failing scenario to a minimal JSON repro artifact.
+
+``repro conform run|corpus|shrink`` is the CLI front end; see
+``docs/conformance.md``.
+"""
+
+from repro.conformance.corpus import (
+    Scenario,
+    default_corpus,
+    seeded_corpus,
+)
+from repro.conformance.invariants import (
+    ConformanceContext,
+    Invariant,
+    Violation,
+    all_invariants,
+    get_invariant,
+    invariant,
+    run_invariants,
+)
+from repro.conformance.oracle import (
+    CorpusReport,
+    PathResult,
+    ScenarioReport,
+    evaluate_paths,
+    run_corpus,
+    run_instance,
+    run_scenario,
+    scheme_digest,
+)
+from repro.conformance.shrink import (
+    ShrinkResult,
+    load_artifact,
+    oracle_predicate,
+    shrink_instance,
+    write_artifact,
+)
+
+__all__ = [
+    "Scenario",
+    "default_corpus",
+    "seeded_corpus",
+    "ConformanceContext",
+    "Invariant",
+    "Violation",
+    "all_invariants",
+    "get_invariant",
+    "invariant",
+    "run_invariants",
+    "CorpusReport",
+    "PathResult",
+    "ScenarioReport",
+    "evaluate_paths",
+    "run_corpus",
+    "run_instance",
+    "run_scenario",
+    "scheme_digest",
+    "ShrinkResult",
+    "load_artifact",
+    "oracle_predicate",
+    "shrink_instance",
+    "write_artifact",
+]

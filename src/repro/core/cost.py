@@ -183,8 +183,16 @@ class CostModel:
         cost = self._instance.cost
         # Reads: every site reads from its nearest replicator; replicator
         # rows contribute zero because min cost over reps includes self.
+        # The weight column is copied contiguous before the dot: BLAS
+        # picks its ddot kernel (and with it the accumulation order) by
+        # operand stride, and the dense and tile-backed models store the
+        # column at different strides — the copy pins every evaluation
+        # path to the unit-stride kernel so costs stay bit-identical on
+        # non-integer cost matrices.
         nearest_cost = cost[:, reps].min(axis=1)
-        read_term = float(self.read_weight_col(obj) @ nearest_cost)
+        read_term = float(
+            np.ascontiguousarray(self.read_weight_col(obj)) @ nearest_cost
+        )
         # Writes: non-replicators ship their own writes to the primary;
         # replicators are charged for all writes (own + received updates).
         to_primary = self.cost_to_primary_col(obj)

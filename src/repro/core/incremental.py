@@ -307,17 +307,22 @@ class IncrementalCostEvaluator:
         result is bit-identical to the full recompute whenever ``d1``
         equals the nearest-replica distances.
         """
-        # read_term keeps CostModel's exact operands (strided column
-        # view) — vector layout can steer BLAS onto a different
-        # accumulation path, and this is the one term where that matters.
+        # read_term copies the weight column contiguous before the dot,
+        # matching CostModel._object_cost: vector layout steers BLAS
+        # onto a different accumulation path, and this is the one term
+        # where that matters.
         if self._dense_weights:
-            read_term = float(self._read_weight[:, obj] @ d1)
+            read_term = float(
+                np.ascontiguousarray(self._read_weight[:, obj]) @ d1
+            )
             to_primary = self._ctp_T[obj]
             write_col = self._ww_T[obj]
             total_w = self._total_w[obj]
         else:
             model = self._model
-            read_term = float(model.read_weight_col(obj) @ d1)
+            read_term = float(
+                np.ascontiguousarray(model.read_weight_col(obj)) @ d1
+            )
             to_primary = model.cost_to_primary_col(obj)
             write_col = model.write_weight_col(obj)
             total_w = model.total_write_weight_of(obj)

@@ -44,7 +44,8 @@ import json
 import os
 import time
 from collections import deque
-from typing import Deque, Dict, IO, Iterable, List, Optional, Union
+from contextlib import contextmanager
+from typing import Deque, Dict, IO, Iterable, Iterator, List, Optional, Union
 
 from repro.errors import ValidationError
 
@@ -480,6 +481,25 @@ def current_tracer() -> Tracer:
     return _GLOBAL if _GLOBAL is not None else _DISABLED
 
 
+@contextmanager
+def temporary_tracer(capacity: int = DEFAULT_CAPACITY) -> Iterator[Tracer]:
+    """Install a fresh process-wide tracer for the duration of a block.
+
+    Whatever tracer was installed before (including none) is restored on
+    exit, even when the body raises.  The conformance oracle uses this to
+    observe instrumentation events (``sra.place`` benefits) without
+    clobbering a ``--trace`` session the caller may be running.
+    """
+    global _GLOBAL
+    previous = _GLOBAL
+    tracer = Tracer(capacity=capacity)
+    _GLOBAL = tracer
+    try:
+        yield tracer
+    finally:
+        _GLOBAL = previous
+
+
 __all__ = [
     "DEFAULT_CAPACITY",
     "FORMAT_JSONL",
@@ -495,4 +515,5 @@ __all__ = [
     "global_tracer",
     "disable_global_tracing",
     "current_tracer",
+    "temporary_tracer",
 ]

@@ -7,11 +7,37 @@ non-trivial sizes.  All are deterministic.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core import CostModel, DRPInstance, ReplicationScheme
 from repro.workload import WorkloadSpec, generate_instance
+
+try:
+    from hypothesis import HealthCheck, settings as hypothesis_settings
+
+    # Shared profiles: `dev` keeps the suite fast on laptops, `ci` drops
+    # the deadline entirely (shared runners stall unpredictably) and digs
+    # deeper.  Select with HYPOTHESIS_PROFILE=ci; per-test @settings
+    # still override individual fields.
+    hypothesis_settings.register_profile(
+        "dev",
+        deadline=None,
+        max_examples=25,
+    )
+    hypothesis_settings.register_profile(
+        "ci",
+        deadline=None,
+        max_examples=100,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    hypothesis_settings.load_profile(
+        os.environ.get("HYPOTHESIS_PROFILE", "dev")
+    )
+except ImportError:  # hypothesis is optional; property tests self-skip
+    pass
 
 
 @pytest.fixture(scope="session")

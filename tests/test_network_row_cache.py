@@ -1,0 +1,173 @@
+"""ShortestPathRowCache: eviction order, path correctness, counters.
+
+The row cache promises three things: distances bit-identical to the
+standalone Dijkstra (and to Floyd-Warshall), predecessor paths that are
+genuine shortest paths, and an honest LRU — least-recently-*used*, not
+least-recently-inserted, with accurate hit/miss accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError, ValidationError
+from repro.network.generators import random_tree_topology, waxman_topology
+from repro.network.shortest_paths import (
+    ShortestPathRowCache,
+    dijkstra,
+    floyd_warshall,
+    reconstruct_path,
+)
+
+
+@pytest.fixture()
+def tree_adjacency() -> np.ndarray:
+    return random_tree_topology(
+        9, rng=np.random.default_rng(41)
+    ).adjacency_matrix()
+
+
+@pytest.fixture()
+def dense_adjacency() -> np.ndarray:
+    return waxman_topology(
+        8, alpha=0.9, beta=0.9, rng=np.random.default_rng(42)
+    ).adjacency_matrix()
+
+
+class TestDistances:
+    def test_rows_match_dijkstra_bit_for_bit(self, dense_adjacency):
+        cache = ShortestPathRowCache(dense_adjacency)
+        for source in range(dense_adjacency.shape[0]):
+            assert np.array_equal(
+                cache.distances(source), dijkstra(dense_adjacency, source)
+            )
+
+    def test_rows_match_floyd_warshall(self, tree_adjacency):
+        cache = ShortestPathRowCache(tree_adjacency)
+        full = floyd_warshall(tree_adjacency)
+        for source in range(tree_adjacency.shape[0]):
+            np.testing.assert_allclose(
+                cache.distances(source), full[source], rtol=0, atol=1e-12
+            )
+
+    def test_distance_scalar_and_range_checks(self, tree_adjacency):
+        cache = ShortestPathRowCache(tree_adjacency)
+        assert cache.distance(0, 0) == 0.0
+        with pytest.raises(ValidationError):
+            cache.distance(0, 99)
+        with pytest.raises(ValidationError):
+            cache.distances(-1)
+
+    def test_distances_returns_a_copy(self, tree_adjacency):
+        cache = ShortestPathRowCache(tree_adjacency)
+        row = cache.distances(0)
+        row[:] = -1.0
+        assert np.array_equal(
+            cache.distances(0), dijkstra(tree_adjacency, 0)
+        )
+
+
+class TestPaths:
+    def test_tree_paths_equal_floyd_warshall_reconstruction(
+        self, tree_adjacency
+    ):
+        # Tree paths are unique, so the predecessor walk must reproduce
+        # the successor-matrix walk exactly, node by node.
+        cache = ShortestPathRowCache(tree_adjacency)
+        _, nxt = floyd_warshall(tree_adjacency, return_successors=True)
+        n = tree_adjacency.shape[0]
+        for source in range(n):
+            for target in range(n):
+                assert cache.path(source, target) == reconstruct_path(
+                    nxt, source, target
+                )
+
+    def test_dense_paths_are_shortest_and_walk_real_links(
+        self, dense_adjacency
+    ):
+        # Shortest paths may tie in a general graph; require the cached
+        # path to be *a* shortest path: every hop a real link, total
+        # length equal to the Floyd-Warshall distance.
+        cache = ShortestPathRowCache(dense_adjacency)
+        full = floyd_warshall(dense_adjacency)
+        n = dense_adjacency.shape[0]
+        for source in range(n):
+            for target in range(n):
+                path = cache.path(source, target)
+                assert path[0] == source and path[-1] == target
+                hops = sum(
+                    dense_adjacency[a, b]
+                    for a, b in zip(path, path[1:])
+                )
+                assert np.isfinite(
+                    [dense_adjacency[a, b] for a, b in zip(path, path[1:])]
+                ).all()
+                assert hops == pytest.approx(full[source, target])
+
+    def test_unreachable_target_raises(self):
+        disconnected = np.array(
+            [
+                [0.0, 1.0, np.inf],
+                [1.0, 0.0, np.inf],
+                [np.inf, np.inf, 0.0],
+            ]
+        )
+        cache = ShortestPathRowCache(disconnected)
+        with pytest.raises(TopologyError):
+            cache.path(0, 2)
+        assert cache.distance(0, 2) == np.inf
+
+    def test_self_path_is_singleton(self, tree_adjacency):
+        cache = ShortestPathRowCache(tree_adjacency)
+        assert cache.path(3, 3) == [3]
+
+
+class TestEvictionAndCounters:
+    def test_eviction_is_lru_not_fifo(self, tree_adjacency):
+        cache = ShortestPathRowCache(tree_adjacency, max_rows=2)
+        row0_first = cache.distances(0)  # miss: cache {0}
+        cache.distances(1)               # miss: cache {0, 1}
+        cache.distances(0)               # hit: refreshes 0 -> LRU is 1
+        cache.distances(2)               # miss: evicts 1, not 0
+        info = cache.cache_info()
+        assert info["misses"] == 3 and info["hits"] == 1
+        assert np.array_equal(cache.distances(0), row0_first)  # still a hit
+        assert cache.cache_info()["hits"] == 2
+        cache.distances(1)  # was evicted -> recomputed
+        assert cache.cache_info()["misses"] == 4
+
+    def test_repeated_source_queries_cost_one_miss(self, dense_adjacency):
+        cache = ShortestPathRowCache(dense_adjacency, max_rows=4)
+        for _ in range(10):
+            cache.distances(5)
+            cache.distance(5, 2)
+            cache.path(5, 3)
+        info = cache.cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 29
+        assert info["hit_rate"] == pytest.approx(29 / 30)
+        assert info["rows"] == 1
+
+    def test_rows_never_exceed_capacity(self, tree_adjacency):
+        cache = ShortestPathRowCache(tree_adjacency, max_rows=3)
+        for source in range(tree_adjacency.shape[0]):
+            cache.distances(source)
+        info = cache.cache_info()
+        assert info["rows"] == 3
+        assert info["capacity"] == 3
+        assert info["misses"] == tree_adjacency.shape[0]
+
+    def test_fresh_cache_reports_zero_rate(self, tree_adjacency):
+        info = ShortestPathRowCache(tree_adjacency).cache_info()
+        assert info == {
+            "rows": 0,
+            "capacity": 64,
+            "hits": 0,
+            "misses": 0,
+            "hit_rate": 0.0,
+        }
+
+    def test_capacity_must_be_positive(self, tree_adjacency):
+        with pytest.raises(ValidationError):
+            ShortestPathRowCache(tree_adjacency, max_rows=0)

@@ -37,6 +37,7 @@ def test_quickstart_docstring_snippet_runs():
         "repro.algorithms",
         "repro.algorithms.gra",
         "repro.algorithms.agra",
+        "repro.conformance",
         "repro.network",
         "repro.workload",
         "repro.distributed",
