@@ -96,7 +96,7 @@ def test_bench_gra_convergence(benchmark, profile):
 
     def run():
         result = GRA(profile.gra, rng=3).run(instance)
-        return analyze_convergence(result.stats["best_fitness_history"])
+        return analyze_convergence(result.stats.history("best_fitness"))
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
     print()

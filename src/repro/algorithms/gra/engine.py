@@ -43,6 +43,46 @@ from repro.utils.profiler import current_profiler
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.tracing import current_tracer
 
+#: legacy stats keys -> the per-record field each one was derived from
+_LEGACY_HISTORY_KEYS = {
+    "best_fitness_history": "best_fitness",
+    "mean_fitness_history": "mean_fitness",
+}
+
+
+class GRAStats(dict):
+    """GRA run diagnostics with a single source of convergence truth.
+
+    The per-generation convergence data lives once, under
+    ``convergence_records`` (one dict per generation: ``generation``,
+    ``best_fitness``, ``mean_fitness``); :meth:`history` projects any
+    record field into the flat list the analysis helpers consume.
+
+    The pre-refactor stats dict *also* materialised
+    ``best_fitness_history`` / ``mean_fitness_history`` as eager
+    duplicate lists.  Indexing those keys still works — derived on the
+    fly via ``__missing__`` — but emits a :class:`DeprecationWarning`;
+    use ``stats.history("best_fitness")`` instead.
+    """
+
+    def history(self, field: str) -> List[float]:
+        """The per-generation values of ``field`` (index 0 = seeded pop)."""
+        return [record[field] for record in self["convergence_records"]]
+
+    def __missing__(self, key):
+        import warnings
+
+        field = _LEGACY_HISTORY_KEYS.get(key)
+        if field is None:
+            raise KeyError(key)
+        warnings.warn(
+            f"stats[{key!r}] is deprecated; use "
+            f"stats.history({field!r})",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.history(field)
+
 
 class GRA(ReplicationAlgorithm):
     """Genetic Replication Algorithm.
@@ -177,9 +217,10 @@ class GRA(ReplicationAlgorithm):
 
         Convergence is recorded as one trace record per generation (a
         ``gra.generation`` span carrying best/mean fitness — index 0 is
-        the seeded population before any evolution), and the returned
-        diagnostics keep the historical ``best_fitness_history`` /
-        ``mean_fitness_history`` list keys, derived from those records.
+        the seeded population before any evolution).  The returned
+        :class:`GRAStats` keeps that data in one place
+        (``convergence_records``); project flat lists with
+        ``stats.history("best_fitness")``.
         """
         instance = population.instance
         params = self.params
@@ -267,13 +308,11 @@ class GRA(ReplicationAlgorithm):
             ):
                 population.members[population.worst_index()] = elite.copy()
 
-        return {
-            "generations": generations,
-            "convergence_records": records,
-            "best_fitness_history": [r["best_fitness"] for r in records],
-            "mean_fitness_history": [r["mean_fitness"] for r in records],
-            "final_diversity": population.diversity(),
-        }
+        return GRAStats(
+            generations=generations,
+            convergence_records=records,
+            final_diversity=population.diversity(),
+        )
 
     def run_with_population(
         self,

@@ -1,7 +1,9 @@
 """Convergence diagnostics for GA runs.
 
-GRA results carry ``best_fitness_history`` (one entry per generation,
-monotone because of elite tracking).  These helpers answer the budget
+GRA results carry per-generation convergence records — project the flat
+series with ``result.stats.history("best_fitness")`` (one entry per
+generation, monotone because of elite tracking).  These helpers answer
+the budget
 questions the paper settles by eyeballing: how many generations until
 within x% of the final value, where progress stalls, and how much of
 the final quality the initial (SRA-seeded) population already had.

@@ -25,14 +25,15 @@ Subcommands:
   (``corpus``), and minimise a failing scenario to a JSON repro
   artifact (``shrink``).  See ``docs/conformance.md``.
 
-``solve``, ``simulate`` and ``compare`` accept ``--trace FILE`` (with
-``--trace-format jsonl|chrome``) to record an execution trace; the
-``chrome`` format loads directly into Perfetto / ``chrome://tracing``.
-They also accept ``--profile FILE`` (deterministic progress-count
-profiles, ``--profile-format collapsed|speedscope``), ``--openmetrics
-FILE`` (OpenMetrics v1 text exposition of the final metric state) and
-``--telemetry FILE`` (JSONL snapshot time series).  See
-``docs/observability.md`` and ``docs/telemetry.md``.
+Algorithms are resolved through the capability-declaring
+:class:`~repro.runtime.registry.SolverRegistry`; the cross-cutting
+flags — ``--trace``/``--trace-format``, ``--profile`` family,
+``--openmetrics``/``--telemetry``, ``--metrics``, ``--faults`` and
+``--parallel`` — are defined once in
+:mod:`repro.runtime.cli_options` and accepted by every subcommand,
+wired through one :class:`~repro.runtime.context.RunContext` per
+invocation.  See ``docs/architecture.md``, ``docs/observability.md``
+and ``docs/telemetry.md``.
 
 Examples
 --------
@@ -50,22 +51,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
-from repro.algorithms import (
-    GAParams,
-    GRA,
-    HillClimbing,
-    NoReplication,
-    RandomReplication,
-    ReadOnlyGreedy,
-    SRA,
-    SimulatedAnnealing,
-    solve_optimal,
-)
 from repro.analysis import compare_algorithms
 from repro.core import CostModel
 from repro.errors import ReproError
@@ -75,201 +64,28 @@ from repro.io import (
     save_instance,
     save_scheme,
 )
-from repro.sim import FaultInjector, ReplicaSystem, Simulator, load_fault_plan
-from repro.utils.profiler import (
-    FORMAT_COLLAPSED,
-    PROFILE_FORMATS,
-    disable_global_profiling,
-    enable_global_profiling,
-    global_profiler,
+from repro.runtime import (
+    add_runtime_options,
+    context_from_args,
+    default_registry,
+    runtime_session,
 )
-from repro.utils.telemetry import (
-    JsonlExporter,
-    OpenMetricsExporter,
-    current_sink,
-    disable_global_telemetry,
-    enable_global_telemetry,
-    global_telemetry,
-)
-from repro.utils.tracing import (
-    FORMAT_JSONL,
-    FORMATS,
-    disable_global_tracing,
-    enable_global_tracing,
-    global_tracer,
-)
+from repro.sim import FaultInjector, ReplicaSystem, Simulator
+from repro.utils.telemetry import current_sink
+from repro.version import __version__
 from repro.workload import WorkloadSpec, generate_instance, generate_instances
 from repro.workload.trace import generate_trace
 
-#: algorithm name -> factory taking (seed, ga generations override)
-ALGORITHMS: Dict[str, Callable[..., object]] = {
-    "sra": lambda seed, gens: SRA(),
-    "gra": lambda seed, gens: GRA(
-        GAParams(generations=gens) if gens else GAParams(), rng=seed
-    ),
-    "hill-climbing": lambda seed, gens: HillClimbing(rng=seed),
-    "annealing": lambda seed, gens: SimulatedAnnealing(rng=seed),
-    "random": lambda seed, gens: RandomReplication(rng=seed),
-    "read-only-greedy": lambda seed, gens: ReadOnlyGreedy(),
-    "none": lambda seed, gens: NoReplication(),
-}
+
+def _solve_choices() -> List[str]:
+    """Algorithms runnable on a bare instance (the registry decides)."""
+    return sorted(default_registry().names(standalone=True))
 
 
-def _add_trace_args(parser: argparse.ArgumentParser) -> None:
-    """``--trace`` / ``--trace-format`` shared by tracing subcommands."""
-    parser.add_argument(
-        "--trace",
-        default=None,
-        metavar="FILE",
-        help="record an execution trace to FILE (inspect with "
-        "`repro trace FILE`)",
-    )
-    parser.add_argument(
-        "--trace-format",
-        choices=sorted(FORMATS),
-        default=FORMAT_JSONL,
-        help="trace file format: jsonl (default) or chrome "
-        "(Perfetto / chrome://tracing)",
-    )
-
-
-def _add_profile_args(parser: argparse.ArgumentParser) -> None:
-    """``--profile`` family shared by solve/simulate/compare."""
-    parser.add_argument(
-        "--profile",
-        default=None,
-        metavar="FILE",
-        help="write a deterministic progress-count profile to FILE "
-        "(see docs/telemetry.md)",
-    )
-    parser.add_argument(
-        "--profile-format",
-        choices=sorted(PROFILE_FORMATS),
-        default=FORMAT_COLLAPSED,
-        help="profile file format: collapsed (flamegraph.pl) or "
-        "speedscope (speedscope.app)",
-    )
-    parser.add_argument(
-        "--profile-every",
-        type=int,
-        default=1,
-        metavar="N",
-        help="sample one stack per N progress ticks (default 1)",
-    )
-
-
-def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
-    """``--openmetrics`` / ``--telemetry`` shared export flags."""
-    parser.add_argument(
-        "--openmetrics",
-        default=None,
-        metavar="FILE",
-        help="export final metric state to FILE in OpenMetrics v1 "
-        "text format",
-    )
-    parser.add_argument(
-        "--telemetry",
-        default=None,
-        metavar="FILE",
-        help="append JSONL telemetry snapshots to FILE (one line per "
-        "snapshot; per-epoch for adaptive runs)",
-    )
-
-
-@contextmanager
-def _tracing(args: argparse.Namespace) -> Iterator[None]:
-    """Enable tracing around a subcommand when ``--trace`` was given.
-
-    The trace is written even when the command body raises, so a failed
-    run still leaves its trace behind for diagnosis.
-    """
-    path = getattr(args, "trace", None)
-    if not path:
-        yield
-        return
-    had_tracer = global_tracer() is not None
-    tracer = enable_global_tracing()
-    try:
-        yield
-    finally:
-        tracer.write(path, format=args.trace_format)
-        print(f"trace written to {path} ({args.trace_format})")
-        if not had_tracer:
-            disable_global_tracing()
-
-
-@contextmanager
-def _profiling(args: argparse.Namespace) -> Iterator[None]:
-    """Enable the deterministic profiler when ``--profile`` was given.
-
-    The profiler samples the tracer's open-span stack, so global tracing
-    is enabled alongside it (and torn down again if the profiler brought
-    it up implicitly, i.e. without ``--trace``).
-    """
-    path = getattr(args, "profile", None)
-    if not path:
-        yield
-        return
-    had_profiler = global_profiler() is not None
-    had_tracer = global_tracer() is not None
-    profiler = enable_global_profiling(
-        sample_every=getattr(args, "profile_every", 1)
-    )
-    try:
-        yield
-    finally:
-        profiler.write(path, format=args.profile_format)
-        print(f"profile written to {path} ({args.profile_format})")
-        print(profiler.render())
-        if not had_profiler:
-            disable_global_profiling()
-            if not had_tracer:
-                disable_global_tracing()
-
-
-@contextmanager
-def _telemetry(
-    args: argparse.Namespace, registry=None
-) -> Iterator[None]:
-    """Install a telemetry sink when ``--openmetrics``/``--telemetry``
-    was given, exporting one final snapshot on the way out.
-
-    ``registry`` (from ``--metrics``) rides along so kernel counters and
-    timers appear in the export next to the gauges.
-    """
-    openmetrics = getattr(args, "openmetrics", None)
-    jsonl = getattr(args, "telemetry", None)
-    if not openmetrics and not jsonl:
-        yield
-        return
-    had_sink = global_telemetry() is not None
-    sink = enable_global_telemetry(registry=registry)
-    if openmetrics:
-        sink.attach_exporter(OpenMetricsExporter(openmetrics))
-    if jsonl:
-        sink.attach_exporter(JsonlExporter(jsonl))
-    try:
-        yield
-    finally:
-        sink.snapshot()  # final state, even if the body raised
-        sink.close()
-        if openmetrics:
-            print(f"openmetrics written to {openmetrics}")
-        if jsonl:
-            print(f"telemetry snapshots appended to {jsonl}")
-        if not had_sink:
-            disable_global_telemetry()
-
-
-@contextmanager
-def _observability(
-    args: argparse.Namespace, registry=None
-) -> Iterator[None]:
-    """Compose telemetry, profiling and tracing around a subcommand."""
-    with _telemetry(args, registry=registry), _profiling(args), _tracing(
-        args
-    ):
-        yield
+def _compare_choices() -> List[str]:
+    # branch-and-bound is exponential in the number of sites; keep it
+    # out of the multi-instance comparison grid
+    return [name for name in _solve_choices() if name != "optimal"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -280,6 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Loukopoulos & Ahmad, ICDCS 2000."
         ),
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+    )
     sub = parser.add_subparsers(dest="command")
 
     gen = sub.add_parser("generate", help="synthesise a DRP instance")
@@ -289,26 +110,20 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--capacity-ratio", type=float, default=0.15)
     gen.add_argument("--seed", type=int, default=None)
     gen.add_argument("-o", "--output", required=True)
+    add_runtime_options(gen)
 
     solve = sub.add_parser("solve", help="solve a saved instance")
     solve.add_argument("instance")
     solve.add_argument(
         "--algorithm",
-        choices=sorted([*ALGORITHMS, "optimal"]),
+        choices=_solve_choices(),
         default="sra",
     )
     solve.add_argument("--seed", type=int, default=None)
     solve.add_argument("--generations", type=int, default=0,
                        help="override GRA generations")
     solve.add_argument("--save-scheme", default=None)
-    solve.add_argument(
-        "--metrics",
-        action="store_true",
-        help="print cost-kernel cache counters and per-phase timers",
-    )
-    _add_trace_args(solve)
-    _add_profile_args(solve)
-    _add_telemetry_args(solve)
+    add_runtime_options(solve)
 
     evaluate = sub.add_parser("evaluate", help="evaluate a saved scheme")
     evaluate.add_argument("scheme")
@@ -318,6 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate under this instance instead of the embedded one "
         "(same network/storage, e.g. drifted patterns)",
     )
+    add_runtime_options(evaluate)
 
     simulate = sub.add_parser(
         "simulate", help="replay a trace through the simulator"
@@ -325,16 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("scheme")
     simulate.add_argument("--duration", type=float, default=1.0)
     simulate.add_argument("--seed", type=int, default=None)
-    simulate.add_argument(
-        "--faults",
-        default=None,
-        metavar="PLAN.json",
-        help="inject faults from a JSON fault plan during the replay "
-        "(see docs/fault_injection.md)",
-    )
-    _add_trace_args(simulate)
-    _add_profile_args(simulate)
-    _add_telemetry_args(simulate)
+    add_runtime_options(simulate)
 
     compare = sub.add_parser(
         "compare", help="compare algorithms over fresh instances"
@@ -348,24 +155,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--algorithm",
         action="append",
-        choices=sorted(ALGORITHMS),
+        choices=_compare_choices(),
         help="repeatable; default: sra and gra",
     )
-    compare.add_argument(
-        "--metrics",
-        action="store_true",
-        help="print cost-kernel cache counters and per-phase timers",
-    )
-    compare.add_argument(
-        "--faults",
-        default=None,
-        metavar="PLAN.json",
-        help="additionally replay each algorithm's schemes under this "
-        "fault plan and report degraded-mode NTC and rejections",
-    )
-    _add_trace_args(compare)
-    _add_profile_args(compare)
-    _add_telemetry_args(compare)
+    add_runtime_options(compare)
 
     figures = sub.add_parser(
         "figures", help="reproduce the paper's figures (see repro-experiments)"
@@ -382,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=15,
         help="rows in the top-spans-by-self-time table (default 15)",
     )
+    add_runtime_options(trace)
 
     bench = sub.add_parser(
         "bench",
@@ -396,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="FILE",
             help="ledger file (default BENCH_history.jsonl)",
         )
+        add_runtime_options(p)
 
     record = bench_sub.add_parser(
         "record", help="run the micro-benchmark suite and append an entry"
@@ -493,9 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the full per-path report as JSON to FILE",
     )
-    _add_trace_args(conform_run)
-    _add_profile_args(conform_run)
-    _add_telemetry_args(conform_run)
+    add_runtime_options(conform_run)
 
     conform_corpus = conform_sub.add_parser(
         "corpus", help="list corpus scenarios and registered invariants"
@@ -510,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
     conform_corpus.add_argument(
         "--seed", type=int, default=0, help="seed for the sweep preview"
     )
+    add_runtime_options(conform_corpus)
 
     conform_shrink = conform_sub.add_parser(
         "shrink",
@@ -542,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="shrink against only this invariant (repeatable)",
     )
+    add_runtime_options(conform_shrink)
 
     return parser
 
@@ -550,15 +345,16 @@ def build_parser() -> argparse.ArgumentParser:
 # subcommand implementations
 # --------------------------------------------------------------------- #
 def _cmd_generate(args: argparse.Namespace) -> int:
-    spec = WorkloadSpec(
-        num_sites=args.sites,
-        num_objects=args.objects,
-        update_ratio=args.update_ratio,
-        capacity_ratio=args.capacity_ratio,
-    )
-    instance = generate_instance(spec, rng=args.seed)
-    path = save_instance(instance, args.output)
-    print(f"wrote {instance} to {path}")
+    with runtime_session(args):
+        spec = WorkloadSpec(
+            num_sites=args.sites,
+            num_objects=args.objects,
+            update_ratio=args.update_ratio,
+            capacity_ratio=args.capacity_ratio,
+        )
+        instance = generate_instance(spec, rng=args.seed)
+        path = save_instance(instance, args.output)
+        print(f"wrote {instance} to {path}")
     return 0
 
 
@@ -568,12 +364,15 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
     registry = MetricsRegistry() if args.metrics else None
     model = CostModel(instance, metrics=registry)
-    with _observability(args, registry=registry):
-        if args.algorithm == "optimal":
-            result = solve_optimal(instance, model)
+    solvers = default_registry()
+    with runtime_session(args, registry=registry):
+        if args.algorithm == "gra":
+            algorithm = solvers.create(
+                "gra", seed=args.seed, generations=args.generations
+            )
         else:
-            algorithm = ALGORITHMS[args.algorithm](args.seed, args.generations)
-            result = algorithm.run(instance, model)
+            algorithm = solvers.create(args.algorithm, seed=args.seed)
+        result = algorithm.run(instance, model)
         sink = current_sink()
         if sink.enabled:
             sink.set_gauge("repro_solve_total_cost", result.total_cost)
@@ -600,25 +399,29 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    scheme = load_scheme(args.scheme)
-    instance = (
-        load_instance(args.instance) if args.instance else scheme.instance
-    )
-    model = CostModel(instance)
-    cost = model.total_cost(scheme.matrix)
-    print(f"scheme: {scheme}")
-    print(f"D = {cost:,.2f}   D' = {model.d_prime():,.2f}")
-    print(f"savings = {model.savings_percent(scheme.matrix):.2f}%")
+    with runtime_session(args):
+        scheme = load_scheme(args.scheme)
+        instance = (
+            load_instance(args.instance) if args.instance else scheme.instance
+        )
+        model = CostModel(instance)
+        cost = model.total_cost(scheme.matrix)
+        print(f"scheme: {scheme}")
+        print(f"D = {cost:,.2f}   D' = {model.d_prime():,.2f}")
+        print(f"savings = {model.savings_percent(scheme.matrix):.2f}%")
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    # the context is built before the replay machinery so the fault plan
+    # it carries can be installed ahead of the session
+    ctx = context_from_args(args)
     scheme = load_scheme(args.scheme)
     instance = scheme.instance
     trace = generate_trace(instance, duration=args.duration, rng=args.seed)
     system = ReplicaSystem(instance, scheme)
     simulator = Simulator()
-    plan = load_fault_plan(args.faults) if args.faults else None
+    plan = ctx.fault_plan
     injector: Optional[FaultInjector] = None
     if plan is not None:
         injector = FaultInjector(plan)
@@ -627,7 +430,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         # breaks ties in the event queue).
         injector.install(simulator, system)
     system.attach(simulator, trace)
-    with _observability(args):
+    with runtime_session(args, ctx=ctx):
         simulator.run()
         system.metrics.publish(current_sink())
     analytic = CostModel(instance).total_cost(scheme.matrix)
@@ -652,8 +455,6 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    from repro.utils.metrics import disable_global_metrics, enable_global_metrics, global_metrics
-
     labels = args.algorithm or ["sra", "gra"]
     spec = WorkloadSpec(
         num_sites=args.sites,
@@ -662,34 +463,30 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         capacity_ratio=args.capacity_ratio,
     )
     instances = generate_instances(spec, args.instances, rng=args.seed)
+    solvers = default_registry()
     factories = {
-        label: (lambda seed, _label=label: ALGORITHMS[_label](seed, 0))
+        label: (lambda seed, _label=label: solvers.create(_label, seed=seed))
         for label in labels
     }
-    had_metrics = global_metrics() is not None
-    registry = enable_global_metrics() if args.metrics else None
-    try:
-        with _observability(args, registry=registry):
-            report = compare_algorithms(
-                instances, factories, seed=args.seed + 1
+    with runtime_session(args) as ctx:
+        report = compare_algorithms(
+            instances, factories, seed=args.seed + 1
+        )
+        print(report.render())
+        print(f"\nbest by mean savings: {report.best_algorithm()}")
+        if ctx.fault_plan is not None:
+            _fault_replay_section(
+                instances, factories, ctx.fault_plan, args.faults,
+                args.seed,
             )
-            print(report.render())
-            print(f"\nbest by mean savings: {report.best_algorithm()}")
-            if args.faults:
-                _fault_replay_section(
-                    instances, factories, args.faults, args.seed
-                )
-        if registry is not None:
-            print()
-            print(registry.render())
-        return 0
-    finally:
-        if registry is not None and not had_metrics:
-            disable_global_metrics()
+    if ctx.metrics is not None:
+        print()
+        print(ctx.metrics.render())
+    return 0
 
 
 def _fault_replay_section(
-    instances, factories, faults_path: str, seed: int
+    instances, factories, plan, faults_path: str, seed: int
 ) -> None:
     """Replay every algorithm's schemes under a fault plan; print means.
 
@@ -701,7 +498,6 @@ def _fault_replay_section(
     from repro.utils.rng import spawn_seeds
     from repro.utils.tables import format_table
 
-    plan = load_fault_plan(faults_path)
     rows = []
     labels = list(factories)
     run_seeds = spawn_seeds(seed + 2, len(instances) * len(labels) * 2)
@@ -751,8 +547,9 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.utils.trace_summary import render_summary, summarize
 
-    summary = summarize(args.file)
-    print(render_summary(summary, top=args.top))
+    with runtime_session(args):
+        summary = summarize(args.file)
+        print(render_summary(summary, top=args.top))
     return 0
 
 
@@ -768,31 +565,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         return 2
     history = args.history or regression.DEFAULT_HISTORY
-    if command == "record":
-        entry = regression.record_entry(
-            repeats=args.repeats or regression.DEFAULT_REPEATS,
-            label=args.label,
-            profile=get_profile().name,
-            scale_seconds=args.scale_seconds,
-        )
-        regression.append_history(history, entry)
-        print(f"recorded {len(entry['benchmarks'])} benchmarks "
-              f"to {history}")
-        for name in sorted(entry["benchmarks"]):
-            seconds = entry["benchmarks"][name]["seconds"]
-            print(f"  {name}: {seconds:.4f}s")
-        return 0
-    if command == "report":
-        text = regression.render_report(
-            regression.load_history(history), last=args.last
-        )
-        print(text, end="")
-        if args.output:
-            with open(args.output, "w", encoding="utf-8") as fp:
-                fp.write(text)
-            print(f"report written to {args.output}")
-        return 0
-    if command == "check":
+    with runtime_session(args):
+        if command == "record":
+            entry = regression.record_entry(
+                repeats=args.repeats or regression.DEFAULT_REPEATS,
+                label=args.label,
+                profile=get_profile().name,
+                scale_seconds=args.scale_seconds,
+            )
+            regression.append_history(history, entry)
+            print(f"recorded {len(entry['benchmarks'])} benchmarks "
+                  f"to {history}")
+            for name in sorted(entry["benchmarks"]):
+                seconds = entry["benchmarks"][name]["seconds"]
+                print(f"  {name}: {seconds:.4f}s")
+            return 0
+        if command == "report":
+            text = regression.render_report(
+                regression.load_history(history), last=args.last
+            )
+            print(text, end="")
+            if args.output:
+                with open(args.output, "w", encoding="utf-8") as fp:
+                    fp.write(text)
+                print(f"report written to {args.output}")
+            return 0
         entries = regression.load_history(history)
         if not entries:
             # A missing or empty ledger is a bootstrap state, not a
@@ -815,9 +612,6 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"REGRESSION: {names}", file=sys.stderr)
             return 1
         return 0
-    print("usage: repro bench {record,report,check} [options]",
-          file=sys.stderr)
-    return 2
 
 
 def _conform_corpus_for(args: argparse.Namespace):
@@ -837,7 +631,7 @@ def _cmd_conform_run(args: argparse.Namespace) -> int:
 
     scenarios = _conform_corpus_for(args)
     registry = MetricsRegistry()
-    with _observability(args, registry=registry):
+    with runtime_session(args, registry=registry):
         def progress(report) -> None:
             status = "ok" if report.passed else "FAIL"
             print(
@@ -887,19 +681,20 @@ def _cmd_conform_run(args: argparse.Namespace) -> int:
 def _cmd_conform_corpus(args: argparse.Namespace) -> int:
     from repro.conformance import all_invariants
 
-    scenarios = _conform_corpus_for(args)
-    print(f"{len(scenarios)} scenarios:")
-    for sc in scenarios:
-        plan = " +faults" if sc.fault_plan is not None else ""
-        print(
-            f"  {sc.name:<24} seed={sc.seed:<11} "
-            f"{sc.num_sites:>3} x {sc.num_objects:<3} "
-            f"U={sc.update_ratio:<4} {sc.topology}{plan}"
-        )
-    invariants = all_invariants()
-    print(f"\n{len(invariants)} invariants:")
-    for inv in invariants:
-        print(f"  {inv.name:<30} {inv.description}")
+    with runtime_session(args):
+        scenarios = _conform_corpus_for(args)
+        print(f"{len(scenarios)} scenarios:")
+        for sc in scenarios:
+            plan = " +faults" if sc.fault_plan is not None else ""
+            print(
+                f"  {sc.name:<24} seed={sc.seed:<11} "
+                f"{sc.num_sites:>3} x {sc.num_objects:<3} "
+                f"U={sc.update_ratio:<4} {sc.topology}{plan}"
+            )
+        invariants = all_invariants()
+        print(f"\n{len(invariants)} invariants:")
+        for inv in invariants:
+            print(f"  {inv.name:<30} {inv.description}")
     return 0
 
 
@@ -915,71 +710,72 @@ def _cmd_conform_shrink(args: argparse.Namespace) -> int:
         write_artifact,
     )
 
-    if args.artifact is not None:
-        if not os.path.exists(args.artifact):
+    with runtime_session(args):
+        if args.artifact is not None:
+            if not os.path.exists(args.artifact):
+                print(
+                    f"no shrink artifact at {args.artifact}.\n"
+                    f"Produce one with:  repro conform shrink --scenario "
+                    f"NAME -o {args.artifact}\n"
+                    f"or download the CI conformance job's shrunken-repro "
+                    f"artifact.",
+                    file=sys.stderr,
+                )
+                return 2
+            data = load_artifact(args.artifact)
+            print(data["summary"])
+            report = run_instance(
+                data["instance"],
+                name="artifact",
+                invariant_names=args.invariant,
+            )
+            if report.passed:
+                print(
+                    "the repro no longer fails on this build — bug fixed "
+                    "(or environment-dependent)"
+                )
+                return 0
+            print("the repro still fails:", file=sys.stderr)
+            for message in report.all_failures():
+                print(f"  {message}", file=sys.stderr)
+            return 1
+
+        if args.scenario is None:
             print(
-                f"no shrink artifact at {args.artifact}.\n"
-                f"Produce one with:  repro conform shrink --scenario "
-                f"NAME -o {args.artifact}\n"
-                f"or download the CI conformance job's shrunken-repro "
-                f"artifact.",
+                "nothing to shrink: pass --scenario NAME (see `repro "
+                "conform corpus`) or --artifact FILE.",
                 file=sys.stderr,
             )
             return 2
-        data = load_artifact(args.artifact)
-        print(data["summary"])
-        report = run_instance(
-            data["instance"],
-            name="artifact",
-            invariant_names=args.invariant,
-        )
-        if report.passed:
+        matches = [
+            sc for sc in default_corpus() if sc.name == args.scenario
+        ]
+        if not matches:
+            names = ", ".join(sc.name for sc in default_corpus())
             print(
-                "the repro no longer fails on this build — bug fixed "
-                "(or environment-dependent)"
+                f"unknown scenario {args.scenario!r}; corpus scenarios: "
+                f"{names}",
+                file=sys.stderr,
+            )
+            return 2
+        scenario = matches[0]
+        instance = scenario.build()
+        predicate = oracle_predicate(args.invariant)
+        if not predicate(instance):
+            print(
+                f"scenario {scenario.name} passes the oracle on this "
+                f"build; nothing to shrink"
             )
             return 0
-        print("the repro still fails:", file=sys.stderr)
-        for message in report.all_failures():
-            print(f"  {message}", file=sys.stderr)
-        return 1
-
-    if args.scenario is None:
-        print(
-            "nothing to shrink: pass --scenario NAME (see `repro "
-            "conform corpus`) or --artifact FILE.",
-            file=sys.stderr,
+        result = shrink_instance(
+            instance, predicate=predicate, scenario=scenario
         )
-        return 2
-    matches = [
-        sc for sc in default_corpus() if sc.name == args.scenario
-    ]
-    if not matches:
-        names = ", ".join(sc.name for sc in default_corpus())
-        print(
-            f"unknown scenario {args.scenario!r}; corpus scenarios: "
-            f"{names}",
-            file=sys.stderr,
-        )
-        return 2
-    scenario = matches[0]
-    instance = scenario.build()
-    predicate = oracle_predicate(args.invariant)
-    if not predicate(instance):
-        print(
-            f"scenario {scenario.name} passes the oracle on this "
-            f"build; nothing to shrink"
-        )
-        return 0
-    result = shrink_instance(
-        instance, predicate=predicate, scenario=scenario
-    )
-    print(result.summary())
-    for message in result.failures:
-        print(f"  {message}")
-    out = args.out or "CONFORM_repro.json"
-    path = write_artifact(result, out)
-    print(f"repro artifact written to {path}")
+        print(result.summary())
+        for message in result.failures:
+            print(f"  {message}")
+        out = args.out or "CONFORM_repro.json"
+        path = write_artifact(result, out)
+        print(f"repro artifact written to {path}")
     return 0
 
 

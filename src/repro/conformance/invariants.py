@@ -30,8 +30,6 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.algorithms.optimal import solve_optimal
-from repro.algorithms.sra import SRA
 from repro.core.benefit import (
     benefit_matrix,
     benefit_matrix_blocked,
@@ -43,7 +41,8 @@ from repro.core.incremental import IncrementalCostEvaluator
 from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
 from repro.errors import ValidationError
-from repro.utils.tracing import temporary_tracer
+from repro.runtime.context import scoped_tracer
+from repro.runtime.registry import default_registry
 
 #: relative tolerance for cross-algorithm cost comparisons (heuristic vs
 #: exact solver): the two sides sum the same per-object terms in
@@ -100,9 +99,9 @@ class ConformanceContext:
         # One traced solve serves both the scheme consumers and the
         # benefit-ordering invariant (sra.place events carry the Eq. 5
         # benefit of every placement actually taken).
-        with temporary_tracer() as tracer:
-            self._sra_result = SRA(
-                update_fraction=self.update_fraction
+        with scoped_tracer() as tracer:
+            self._sra_result = default_registry().create(
+                "sra", update_fraction=self.update_fraction
             ).run(self.instance, self.model)
             self._place_events = [
                 dict(r["attrs"])
@@ -252,7 +251,7 @@ def _check_feasibility(ctx: ConformanceContext) -> List[str]:
 )
 def _check_optimal_lower_bound(ctx: ConformanceContext) -> List[str]:
     out: List[str] = []
-    optimal = solve_optimal(ctx.instance, ctx.model)
+    optimal = default_registry().create("optimal").run(ctx.instance, ctx.model)
     scale = max(1.0, abs(optimal.total_cost))
     slack = OPTIMALITY_RTOL * scale
     heuristic = ctx.sra_result.total_cost
@@ -412,9 +411,9 @@ def _check_adaptive_static(ctx: ConformanceContext) -> List[str]:
     ),
 )
 def _check_distributed_equivalence(ctx: ConformanceContext) -> List[str]:
-    from repro.distributed.sra_protocol import DistributedSRA
-
-    report = DistributedSRA(leader_site=0).run(ctx.instance)
+    report = default_registry().create(
+        "distributed-sra", leader_site=0
+    ).run(ctx.instance)
     central = ctx.scheme.matrix
     distributed = report.scheme.matrix
     if not np.array_equal(central, distributed):

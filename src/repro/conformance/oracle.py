@@ -41,7 +41,6 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.algorithms.sra import SRA
 from repro.conformance.corpus import Scenario
 from repro.conformance.invariants import (
     ConformanceContext,
@@ -52,6 +51,7 @@ from repro.core.cost import CostModel, SparseCostModel, reference_total_cost
 from repro.core.incremental import IncrementalCostEvaluator
 from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
+from repro.runtime.registry import default_registry
 from repro.utils.metrics import MetricsRegistry
 from repro.utils.tracing import current_tracer
 from repro.workload.sparse import SparseProblem
@@ -272,7 +272,9 @@ def _sparse_solve_result(
 ) -> PathResult:
     """SRA re-solved on the sparse problem (same seed-free settings)."""
     sparse = SparseProblem.from_instance(ctx.instance)
-    result = SRA(update_fraction=ctx.update_fraction).run(sparse)
+    result = default_registry().create(
+        "sra", update_fraction=ctx.update_fraction
+    ).run(sparse)
     return PathResult(
         "sparse-sra-solve",
         result.total_cost,

@@ -18,6 +18,13 @@ serial harness:
   sharing (serial) versus not sharing (parallel) a
   :class:`~repro.core.cost.CostModel` cache cannot change any number.
 
+Cross-cutting state rides on the runtime layer: every task carries an
+uninstalled :meth:`~repro.runtime.context.RunContext.fork` child of the
+ambient context, and the fork's ``install()`` performs the per-worker
+tracer setup (fresh per-task tracer in a pool worker, straight into the
+live tracer in-process) that this module used to hand-roll with pid
+checks.
+
 Robustness: each task gets a soft per-task timeout, and any task whose
 worker crashes (``BrokenProcessPool``), times out, or cannot be shipped
 to a worker in the first place (unpicklable factory, e.g. a lambda) is
@@ -25,15 +32,16 @@ retried **once, in-process** — the retry computes the same seeds, so the
 fall-back changes wall-clock only, never results.
 
 A process-wide default worker count can be installed with
-:func:`configure` (the CLI ``--parallel N`` flag does this) or the
-``REPRO_PARALLEL`` environment variable; ``average_static_runs`` picks
-it up when no explicit ``max_workers`` is passed, so every figure sweep
-inherits the fan-out without touching figure code.
+:func:`repro.runtime.context.configure_parallelism` (re-exported here as
+:func:`configure`; the CLI ``--parallel N`` flag routes through the run
+context) or the ``REPRO_PARALLEL`` environment variable;
+``average_static_runs`` picks it up when no explicit ``max_workers`` is
+passed, so every figure sweep inherits the fan-out without touching
+figure code.
 """
 
 from __future__ import annotations
 
-import os
 import pickle
 import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
@@ -49,63 +57,19 @@ from repro.algorithms.gra.params import GAParams
 from repro.algorithms.sra import SRA
 from repro.core.cost import CostModel
 from repro.errors import ValidationError
+from repro.runtime.context import (
+    PARALLEL_ENV_VAR,
+    RunContext,
+    ambient_context,
+    configure_parallelism as configure,
+    resolve_max_workers,
+)
+from repro.runtime.registry import default_registry
 from repro.utils.metrics import MetricsRegistry, Snapshot, global_metrics
 from repro.utils.rng import SeedLike, spawn_seeds
-from repro.utils.tracing import (
-    Record,
-    Tracer,
-    current_tracer,
-    disable_global_tracing,
-    enable_global_tracing,
-)
+from repro.utils.tracing import Record, current_tracer
 from repro.workload.generator import generate_instance
 from repro.workload.spec import WorkloadSpec
-
-#: environment variable supplying the default worker count
-PARALLEL_ENV_VAR = "REPRO_PARALLEL"
-
-_configured_workers: Optional[int] = None
-
-
-def configure(max_workers: Optional[int]) -> None:
-    """Install a process-wide default worker count (``None`` resets).
-
-    ``average_static_runs`` and the figure sweeps consult this default
-    whenever no explicit ``max_workers`` is passed; the CLI ``--parallel
-    N`` flag calls this once at startup.
-    """
-    global _configured_workers
-    if max_workers is not None and max_workers < 1:
-        raise ValidationError(
-            f"max_workers must be >= 1, got {max_workers}"
-        )
-    _configured_workers = max_workers
-
-
-def resolve_max_workers(max_workers: Optional[int] = None) -> int:
-    """Effective worker count: explicit > :func:`configure` > env > 1."""
-    if max_workers is not None:
-        if max_workers < 1:
-            raise ValidationError(
-                f"max_workers must be >= 1, got {max_workers}"
-            )
-        return max_workers
-    if _configured_workers is not None:
-        return _configured_workers
-    env = os.environ.get(PARALLEL_ENV_VAR, "").strip()
-    if env:
-        try:
-            workers = int(env)
-        except ValueError:
-            raise ValidationError(
-                f"${PARALLEL_ENV_VAR} must be an integer, got {env!r}"
-            ) from None
-        if workers < 1:
-            raise ValidationError(
-                f"${PARALLEL_ENV_VAR} must be >= 1, got {workers}"
-            )
-        return workers
-    return 1
 
 
 # --------------------------------------------------------------------- #
@@ -115,7 +79,7 @@ class SRAFactory:
     """Picklable ``AlgorithmFactory`` building a fresh :class:`SRA`."""
 
     def __call__(self, seed: np.random.SeedSequence) -> SRA:
-        return SRA()
+        return default_registry().create("sra")
 
 
 class GRAFactory:
@@ -125,7 +89,7 @@ class GRAFactory:
         self.params = params or GAParams()
 
     def __call__(self, seed: np.random.SeedSequence) -> GRA:
-        return GRA(params=self.params, rng=seed)
+        return default_registry().create("gra", seed=seed, params=self.params)
 
 
 # --------------------------------------------------------------------- #
@@ -143,8 +107,7 @@ class _Task:
     instance_index: int
     instance_seed: np.random.SeedSequence
     collect_metrics: bool
-    collect_trace: bool = False
-    parent_pid: int = 0
+    fork: RunContext
 
 
 def _run_task(
@@ -163,13 +126,10 @@ def _run_task(
     the counter to zero so every task sees the same children whether it
     runs in a worker (fresh pickled copy) or in-process (shared object).
 
-    With ``collect_trace``, a worker records into a fresh per-task
-    tracer and ships its snapshot back for the parent to re-parent under
-    the sweep's root span.  Whether this call *is* in a worker is decided
-    by pid, not by the presence of a global tracer — forked workers
-    inherit the parent's tracer, but records written to that copy would
-    be lost.  In the parent itself (serial path, in-process retry) the
-    task records straight into the live tracer and ships nothing.
+    The task's :class:`RunContext` fork decides — by pid, inside its
+    ``install()`` — whether this call runs in a pool worker (fresh
+    per-task tracer whose snapshot ships back for re-parenting) or
+    in-process (records straight into the live tracer, ships ``None``).
     """
     seq = task.instance_seed
     seq = np.random.SeedSequence(
@@ -178,12 +138,9 @@ def _run_task(
         pool_size=seq.pool_size,
     )
     children = seq.spawn(task.num_factories + 1)
-    own_tracer: Optional[Tracer] = None
-    if task.collect_trace and os.getpid() != task.parent_pid:
-        disable_global_tracing()  # drop any tracer copy inherited via fork
-        own_tracer = enable_global_tracing()
-    try:
-        with current_tracer().span(
+    fork = task.fork
+    with fork.activate():
+        with fork.tracer.span(
             "harness.task",
             label=task.label,
             instance=task.instance_index,
@@ -194,12 +151,7 @@ def _run_task(
             algorithm = task.factory(children[1 + task.factory_index])
             result = algorithm.run(instance, model)
         snapshot = registry.snapshot() if registry is not None else None
-        trace = own_tracer.snapshot() if own_tracer is not None else None
-    finally:
-        if own_tracer is not None:
-            # Pool workers are reused across tasks: tear the tracer down
-            # so the next task starts from an empty buffer.
-            disable_global_tracing()
+        trace = fork.trace_snapshot()
     return task.instance_index, task.label, result, snapshot, trace
 
 
@@ -211,8 +163,7 @@ class _ReplayTask:
     plan: object  # repro.sim.faults.FaultPlan (picklable frozen dataclass)
     instance_index: int
     instance_seed: np.random.SeedSequence
-    collect_trace: bool = False
-    parent_pid: int = 0
+    fork: RunContext
 
 
 def _run_replay_task(
@@ -223,8 +174,8 @@ def _run_replay_task(
     Spawns exactly two children from the (re-derived) instance seed:
     child 0 generates the network, child 1 shuffles the request trace —
     the same derivation in every execution mode, so serial and parallel
-    chaos runs produce identical metrics.  Tracer handling mirrors
-    :func:`_run_task`.
+    chaos runs produce identical metrics.  Tracer handling rides on the
+    fork exactly as in :func:`_run_task`.
     """
     from repro.sim.faults import FaultInjector
     from repro.sim.protocol import ReplicaSystem
@@ -237,27 +188,19 @@ def _run_replay_task(
         pool_size=seq.pool_size,
     )
     children = seq.spawn(2)
-    own_tracer: Optional[Tracer] = None
-    if task.collect_trace and os.getpid() != task.parent_pid:
-        disable_global_tracing()  # drop any tracer copy inherited via fork
-        own_tracer = enable_global_tracing()
-    try:
-        with current_tracer().span(
+    fork = task.fork
+    with fork.activate():
+        with fork.tracer.span(
             "harness.chaos_task", instance=task.instance_index
         ):
             instance = generate_instance(task.spec, rng=children[0])
-            result = SRA().run(instance)
+            result = default_registry().create("sra").run(instance)
             trace = generate_trace(instance, rng=children[1])
             system = ReplicaSystem(instance, result.scheme)
             injector = FaultInjector(task.plan)
             system.replay(trace, injector=injector)
             summary = system.metrics.summary()
-        trace_snapshot = (
-            own_tracer.snapshot() if own_tracer is not None else None
-        )
-    finally:
-        if own_tracer is not None:
-            disable_global_tracing()
+        trace_snapshot = fork.trace_snapshot()
     return task.instance_index, summary, None, trace_snapshot
 
 
@@ -317,6 +260,7 @@ class ParallelRunner:
         if not factories:
             raise ValidationError("need at least one algorithm factory")
         metrics = metrics if metrics is not None else global_metrics()
+        ctx = ambient_context()
         tracer = current_tracer()
         labels = list(factories)
         instance_seeds = spawn_seeds(seed, instances)
@@ -330,8 +274,7 @@ class ParallelRunner:
                 instance_index=i,
                 instance_seed=inst_seed,
                 collect_metrics=metrics is not None,
-                collect_trace=tracer.enabled,
-                parent_pid=os.getpid(),
+                fork=ctx.fork(i * len(labels) + j),
             )
             for i, inst_seed in enumerate(instance_seeds)
             for j, label in enumerate(labels)
@@ -384,6 +327,7 @@ class ParallelRunner:
             raise ValidationError(
                 f"instances must be >= 1, got {instances}"
             )
+        ctx = ambient_context()
         tracer = current_tracer()
         tasks = [
             _ReplayTask(
@@ -391,8 +335,7 @@ class ParallelRunner:
                 plan=plan,
                 instance_index=i,
                 instance_seed=inst_seed,
-                collect_trace=tracer.enabled,
-                parent_pid=os.getpid(),
+                fork=ctx.fork(i),
             )
             for i, inst_seed in enumerate(spawn_seeds(seed, instances))
         ]

@@ -9,6 +9,12 @@ Reproduce one figure at CI scale::
 Reproduce everything at the paper's scale (slow!)::
 
     repro-experiments --all --profile paper
+
+The cross-cutting flags (``--trace``, ``--metrics``, ``--parallel``,
+``--openmetrics``/``--telemetry``, ``--faults``) come from the shared
+runtime option layer and behave exactly as on ``repro`` subcommands.
+``--profile`` keeps its domain meaning here — the *scale* profile
+(quick/paper) — so the shared deterministic-profiler group is excluded.
 """
 
 from __future__ import annotations
@@ -20,6 +26,8 @@ from typing import List, Optional
 from repro.experiments.config import get_profile
 from repro.experiments.figures import DEFAULT_SEED, FIGURES, run_figure
 from repro.experiments.report import render_figure
+from repro.runtime import GROUP_PROFILE, add_runtime_options, runtime_session
+from repro.version import __version__
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,6 +38,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Replication Algorithms for Fast Information Access in Large "
             "Distributed Systems' (ICDCS 2000)."
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     parser.add_argument(
         "--figure",
@@ -79,40 +92,6 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
-        "--parallel",
-        type=int,
-        default=None,
-        metavar="N",
-        help=(
-            "fan (instance x algorithm) runs out over N worker processes "
-            "(default: serial, or $REPRO_PARALLEL); results are "
-            "bit-identical to serial for the same seed"
-        ),
-    )
-    parser.add_argument(
-        "--metrics",
-        action="store_true",
-        help=(
-            "collect and print cost-kernel cache counters and per-phase "
-            "timers after the run"
-        ),
-    )
-    parser.add_argument(
-        "--trace",
-        default=None,
-        metavar="FILE",
-        help=(
-            "record an execution trace of the whole sweep (workers "
-            "included) to FILE; inspect with `repro trace FILE`"
-        ),
-    )
-    parser.add_argument(
-        "--trace-format",
-        choices=["chrome", "jsonl"],
-        default="jsonl",
-        help="trace file format: jsonl (default) or chrome (Perfetto)",
-    )
-    parser.add_argument(
         "--seed",
         type=int,
         default=DEFAULT_SEED,
@@ -124,23 +103,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="decimal places in the rendered tables",
     )
+    # --profile here selects the scale profile above; the shared
+    # deterministic-profiler flags would collide, so that group is out
+    add_runtime_options(parser, exclude=(GROUP_PROFILE,))
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     from repro.experiments.ablations import ABLATIONS, run_ablation
-    from repro.experiments import parallel
     from repro.experiments.report import render_metrics
-    from repro.utils.metrics import (
-        disable_global_metrics,
-        enable_global_metrics,
-        global_metrics,
-    )
-    from repro.utils.tracing import (
-        disable_global_tracing,
-        enable_global_tracing,
-        global_tracer,
-    )
 
     args = build_parser().parse_args(argv)
     if args.list_ablations:
@@ -160,13 +131,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         build_parser().print_help()
         return 2
     profile = get_profile(args.profile)
-    had_metrics = global_metrics() is not None
-    if args.parallel is not None:
-        parallel.configure(args.parallel)
-    registry = enable_global_metrics() if args.metrics else None
-    had_tracer = global_tracer() is not None
-    tracer = enable_global_tracing() if args.trace else None
-    try:
+    with runtime_session(args) as ctx:
+        registry = ctx.metrics
         if args.export:
             from repro.experiments.export import export_results
 
@@ -213,17 +179,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         if registry is not None:
             print(render_metrics(registry))
         return 0
-    finally:
-        if tracer is not None:
-            # Written even on failure so a crashed sweep leaves a trace.
-            tracer.write(args.trace, format=args.trace_format)
-            print(f"trace written to {args.trace} ({args.trace_format})")
-            if not had_tracer:
-                disable_global_tracing()
-        if args.parallel is not None:
-            parallel.configure(None)
-        if registry is not None and not had_metrics:
-            disable_global_metrics()
 
 
 if __name__ == "__main__":

@@ -187,7 +187,7 @@ def run_scale(
     Backs ``repro-experiments --scale TIER``.  Returns a flat JSON-able
     dict (sizes, nnz, SRA cost/savings, wall-clock seconds).
     """
-    from repro.algorithms.sra import SRA
+    from repro.runtime.registry import default_registry
 
     if spec is None:
         if tier not in SCALE_TIERS:
@@ -200,7 +200,8 @@ def run_scale(
     started = time.perf_counter()
     problem = generate_scale_problem(spec, rng=seed)
     generated = time.perf_counter()
-    result = SRA().run(problem)
+    # the registry's sparse-capable solver (only SRA declares it today)
+    result = default_registry().create("sra").run(problem)
     solved = time.perf_counter()
     return {
         "tier": tier,

@@ -23,7 +23,6 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.algorithms.agra.engine import AGRA
 from repro.algorithms.agra.params import AGRAParams, PAPER_AGRA_PARAMS
 from repro.algorithms.gra.params import GAParams, PAPER_PARAMS
 from repro.core.cost import CostModel
@@ -31,6 +30,7 @@ from repro.core.incremental import IncrementalCostEvaluator
 from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
 from repro.errors import ValidationError
+from repro.runtime.registry import default_registry
 from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.metrics import SimulationMetrics
 from repro.sim.protocol import ReplicaSystem
@@ -187,10 +187,11 @@ class AdaptiveReplicationLoop:
             deferred = 0
             adaptation_seconds = 0.0
             if changed:
-                agra = AGRA(
+                agra = default_registry().create(
+                    "agra",
+                    seed=self._rng,
                     params=self._agra_params,
                     gra_params=self._gra_params,
-                    rng=self._rng,
                 )
                 result = agra.adapt(
                     epoch_instance,

@@ -37,7 +37,7 @@ import json
 from typing import Dict, IO, List, Optional, Tuple
 
 from repro.errors import ValidationError
-from repro.utils.tracing import Tracer, current_tracer, enable_global_tracing
+from repro.utils.tracing import Tracer, current_tracer
 
 #: export formats accepted by :meth:`DeterministicProfiler.write`
 FORMAT_COLLAPSED = "collapsed"
@@ -243,13 +243,13 @@ def enable_global_profiling(
 ) -> DeterministicProfiler:
     """Install (or return the existing) process-wide profiler.
 
-    Global tracing is enabled alongside it — the profiler samples the
-    tracer's open-span stack, so spans must be recorded for stacks to be
-    non-trivial.  No trace *file* is written unless ``--trace`` asks.
+    The profiler samples the tracer's open-span stack, so global tracing
+    must be enabled for stacks to be non-trivial; the runtime layer
+    (:class:`repro.runtime.context.RunContext`) brings the tracer up
+    alongside the profiler — this function mutates only its own global.
     """
     global _GLOBAL
     if _GLOBAL is None:
-        enable_global_tracing()
         _GLOBAL = DeterministicProfiler(sample_every=sample_every)
     return _GLOBAL
 

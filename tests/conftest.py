@@ -40,6 +40,49 @@ except ImportError:  # hypothesis is optional; property tests self-skip
     pass
 
 
+@pytest.fixture(autouse=True)
+def _no_leaked_globals():
+    """Fail any test that leaves a process-wide singleton installed.
+
+    The runtime layer (``repro.runtime.context.RunContext``) owns the
+    global tracer / telemetry sink / profiler / metrics registry and
+    guarantees teardown; a test that enables one directly must disable
+    it again, or every later test silently runs traced/metered.  The
+    leaked singletons are cleared here regardless, so one offender
+    cannot cascade.
+    """
+    from repro.utils.metrics import disable_global_metrics, global_metrics
+    from repro.utils.profiler import (
+        disable_global_profiling,
+        global_profiler,
+    )
+    from repro.utils.telemetry import (
+        disable_global_telemetry,
+        global_telemetry,
+    )
+    from repro.utils.tracing import disable_global_tracing, global_tracer
+
+    yield
+    leaked = [
+        name
+        for name, get in (
+            ("tracer", global_tracer),
+            ("telemetry sink", global_telemetry),
+            ("profiler", global_profiler),
+            ("metrics registry", global_metrics),
+        )
+        if get() is not None
+    ]
+    disable_global_profiling()
+    disable_global_tracing()
+    disable_global_telemetry()
+    disable_global_metrics()
+    if leaked:
+        pytest.fail(
+            "test leaked process-wide singletons: " + ", ".join(leaked)
+        )
+
+
 @pytest.fixture(scope="session")
 def tiny_instance() -> DRPInstance:
     return generate_instance(

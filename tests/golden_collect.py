@@ -1,0 +1,298 @@
+"""Golden-output collector for the CLI byte-identity regression check.
+
+Drives the real ``repro`` CLI (``repro.cli.main``) through ``solve``,
+``simulate``, ``compare`` and ``conform run`` under default settings and
+captures every *deterministic* output:
+
+* stdout (wall-clock tokens and temp paths normalised),
+* results JSON (saved schemes, the conform report),
+* traces after id-normalisation (start/end/time/pid dropped; ids,
+  parents, names and attributes kept),
+* OpenMetrics text (wall-clock ``_seconds`` summary families dropped),
+* JSONL telemetry snapshots and collapsed deterministic profiles.
+
+``tests/golden/cli_golden.json`` holds the outputs captured on the
+pre-refactor tree; ``tests/test_golden_outputs.py`` re-runs this
+collector and asserts equality, so any refactor of the runtime wiring
+that changes a single byte of observable output fails loudly.
+
+Regenerate (only when an output change is *intended* and reviewed)::
+
+    PYTHONPATH=src python tests/golden_collect.py --write
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import os
+import re
+import sys
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "golden", "cli_golden.json"
+)
+
+#: wall-clock token in AlgorithmResult.summary() lines
+_TIME_RE = re.compile(r"time=\d+(?:\.\d+)?s")
+#: trailing seconds cell of the comparison table's data rows
+_TRAILING_FLOAT_RE = re.compile(r"\d+\.\d+$")
+#: attribute keys carrying wall-clock values, dropped from traces
+_CLOCK_ATTR_RE = re.compile(r"(seconds|_time)$")
+
+#: every algorithm the `solve` subcommand accepts
+SOLVE_ALGORITHMS = (
+    "sra",
+    "gra",
+    "hill-climbing",
+    "annealing",
+    "random",
+    "read-only-greedy",
+    "none",
+    "optimal",
+)
+
+FAULT_PLAN = {
+    "seed": 9,
+    "crashes": [{"site": 1, "start": 0.2, "end": 0.7}],
+    "degradations": [
+        {"src": 0, "dst": 2, "factor": 4.0, "start": 0.1, "end": 0.9}
+    ],
+}
+
+
+def _run(argv):
+    """Run the CLI in-process; returns (exit_code, stdout, stderr)."""
+    from repro.cli import main as cli_main
+
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        code = cli_main(list(argv))
+    return code, out.getvalue(), err.getvalue()
+
+
+def _normalize_stdout(text: str, tmpdir: str) -> str:
+    """Blank wall-clock tokens and temp paths; keep everything else."""
+    text = text.replace(tmpdir, "@TMP")
+    text = _TIME_RE.sub("time=@Ts", text)
+    lines = []
+    for line in text.splitlines():
+        # the comparison table's last column is mean wall-clock seconds
+        if _TRAILING_FLOAT_RE.search(line) and "  " in line:
+            cells = line.split("  ")
+            if len(cells) >= 4 and _TRAILING_FLOAT_RE.fullmatch(
+                cells[-1].strip()
+            ):
+                cells[-1] = "@SECONDS"
+                line = "  ".join(cells)
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _normalize_trace(path: str):
+    """Trace records with ids/structure/attrs kept, wall-clock dropped."""
+    from repro.utils.tracing import read_trace
+
+    data = read_trace(path)
+    records = []
+    for record in data["records"]:
+        attrs = {
+            key: value
+            for key, value in dict(record.get("attrs") or {}).items()
+            if not _CLOCK_ATTR_RE.search(key)
+        }
+        records.append(
+            {
+                "type": record.get("type"),
+                "id": record.get("id"),
+                "parent": record.get("parent"),
+                "name": record.get("name"),
+                "attrs": attrs,
+            }
+        )
+    return {"records": records, "dropped": data["dropped"]}
+
+
+def _normalize_openmetrics(path: str) -> str:
+    """Exposition text minus the wall-clock ``*_seconds`` families."""
+    from repro.utils.telemetry import parse_openmetrics, render_families
+
+    with open(path, "r", encoding="utf-8") as fp:
+        families = parse_openmetrics(fp.read())
+    kept = {
+        name: entry
+        for name, entry in families.items()
+        if not name.endswith("_seconds")
+    }
+    return render_families(kept)
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as fp:
+        return fp.read()
+
+
+def collect(tmpdir: str):
+    """Run the four golden subcommands; return one JSON-able dict."""
+    golden = {}
+    instance = os.path.join(tmpdir, "instance.json")
+    code, out, err = _run(
+        [
+            "generate",
+            "--sites", "8",
+            "--objects", "12",
+            "--seed", "7",
+            "-o", instance,
+        ]
+    )
+    assert code == 0, err
+    golden["generate"] = {
+        "exit": code,
+        "stdout": _normalize_stdout(out, tmpdir),
+    }
+
+    solves = {}
+    for algo in SOLVE_ALGORITHMS:
+        trace = os.path.join(tmpdir, f"solve_{algo}.trace.jsonl")
+        om = os.path.join(tmpdir, f"solve_{algo}.om")
+        scheme = os.path.join(tmpdir, f"scheme_{algo}.json")
+        argv = [
+            "solve", instance,
+            "--algorithm", algo,
+            "--seed", "5",
+            "--trace", trace,
+            "--openmetrics", om,
+            "--save-scheme", scheme,
+        ]
+        if algo == "gra":
+            argv += ["--generations", "5"]
+        code, out, err = _run(argv)
+        assert code == 0, (algo, err)
+        with open(scheme, "r", encoding="utf-8") as fp:
+            scheme_doc = json.load(fp)
+        solves[algo] = {
+            "exit": code,
+            "stdout": _normalize_stdout(out, tmpdir),
+            "openmetrics": _normalize_openmetrics(om),
+            "trace": _normalize_trace(trace),
+            "scheme": scheme_doc,
+        }
+    golden["solve"] = solves
+
+    scheme_sra = os.path.join(tmpdir, "scheme_sra.json")
+    trace = os.path.join(tmpdir, "simulate.trace.jsonl")
+    om = os.path.join(tmpdir, "simulate.om")
+    telemetry = os.path.join(tmpdir, "simulate.telemetry.jsonl")
+    profile = os.path.join(tmpdir, "simulate.collapsed")
+    code, out, err = _run(
+        [
+            "simulate", scheme_sra,
+            "--duration", "2.0",
+            "--seed", "3",
+            "--trace", trace,
+            "--openmetrics", om,
+            "--telemetry", telemetry,
+            "--profile", profile,
+        ]
+    )
+    assert code == 0, err
+    golden["simulate"] = {
+        "exit": code,
+        "stdout": _normalize_stdout(out, tmpdir),
+        "openmetrics": _normalize_openmetrics(om),
+        "telemetry": _read(telemetry),
+        "profile": _read(profile),
+        "trace": _normalize_trace(trace),
+    }
+
+    plan_path = os.path.join(tmpdir, "plan.json")
+    with open(plan_path, "w", encoding="utf-8") as fp:
+        json.dump(FAULT_PLAN, fp)
+    code, out, err = _run(
+        [
+            "simulate", scheme_sra,
+            "--duration", "1.0",
+            "--seed", "3",
+            "--faults", plan_path,
+        ]
+    )
+    assert code == 0, err
+    golden["simulate_faults"] = {
+        "exit": code,
+        "stdout": _normalize_stdout(out, tmpdir),
+    }
+
+    trace = os.path.join(tmpdir, "compare.trace.jsonl")
+    om = os.path.join(tmpdir, "compare.om")
+    code, out, err = _run(
+        [
+            "compare",
+            "--sites", "8",
+            "--objects", "12",
+            "--instances", "2",
+            "--seed", "0",
+            "--algorithm", "sra",
+            "--algorithm", "gra",
+            "--algorithm", "hill-climbing",
+            "--trace", trace,
+            "--openmetrics", om,
+        ]
+    )
+    assert code == 0, err
+    golden["compare"] = {
+        "exit": code,
+        "stdout": _normalize_stdout(out, tmpdir),
+        "openmetrics": _normalize_openmetrics(om),
+        "trace": _normalize_trace(trace),
+    }
+
+    report = os.path.join(tmpdir, "conform.json")
+    trace = os.path.join(tmpdir, "conform.trace.jsonl")
+    om = os.path.join(tmpdir, "conform.om")
+    code, out, err = _run(
+        [
+            "conform", "run",
+            "--corpus", "default",
+            "--json", report,
+            "--trace", trace,
+            "--openmetrics", om,
+        ]
+    )
+    assert code == 0, err
+    with open(report, "r", encoding="utf-8") as fp:
+        report_doc = json.load(fp)
+    golden["conform_run"] = {
+        "exit": code,
+        "stdout": _normalize_stdout(out, tmpdir),
+        "report": report_doc,
+        "openmetrics": _normalize_openmetrics(om),
+        "trace": _normalize_trace(trace),
+    }
+    return golden
+
+
+def main() -> int:
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        golden = collect(tmpdir)
+    if "--write" in sys.argv[1:]:
+        os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+        with open(GOLDEN_PATH, "w", encoding="utf-8") as fp:
+            json.dump(golden, fp, indent=1, sort_keys=True)
+            fp.write("\n")
+        print(f"golden outputs written to {GOLDEN_PATH}")
+        return 0
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as fp:
+        committed = json.load(fp)
+    fresh = json.loads(json.dumps(golden))
+    if fresh != committed:
+        print("golden outputs DIFFER from the committed file")
+        return 1
+    print("golden outputs match the committed file")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

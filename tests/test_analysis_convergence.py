@@ -58,7 +58,7 @@ def test_on_real_gra_history(small_instance):
     result = GRA(
         GAParams(population_size=8, generations=10), rng=1
     ).run(small_instance)
-    report = analyze_convergence(result.stats["best_fitness_history"])
+    report = analyze_convergence(result.stats.history("best_fitness"))
     assert report.generations == 10
     assert report.final_fitness == pytest.approx(result.fitness)
     assert 0.0 <= report.seeding_share <= 1.0

@@ -1,0 +1,35 @@
+"""Byte-identical golden check over the CLI's observable outputs.
+
+``tests/golden_collect.py`` drives ``repro`` in-process — generate,
+solve (every standalone algorithm), simulate (with and without a fault
+plan), compare, and ``conform run`` — with every cross-cutting flag on,
+and normalises the wall-clock-dependent pieces.  The committed file
+``tests/golden/cli_golden.json`` was captured *before* the runtime-layer
+refactor, so equality here is the acceptance proof that resolving
+solvers through the registry and wiring observability through
+``RunContext`` changed no output byte.
+
+Regenerate deliberately with ``python tests/golden_collect.py --write``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import golden_collect  # noqa: E402
+
+
+def test_cli_outputs_match_committed_golden(tmp_path):
+    fresh = json.loads(json.dumps(golden_collect.collect(str(tmp_path))))
+    with open(golden_collect.GOLDEN_PATH, "r", encoding="utf-8") as fp:
+        committed = json.load(fp)
+    assert sorted(fresh) == sorted(committed)
+    for key in sorted(committed):
+        assert fresh[key] == committed[key], (
+            f"golden section {key!r} diverged; if the change is "
+            f"intentional run `python tests/golden_collect.py --write`"
+        )

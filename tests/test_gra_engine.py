@@ -18,7 +18,7 @@ def test_result_valid_and_packaged(small_instance):
     assert result.algorithm == "GRA"
     assert 0.0 <= result.fitness <= 1.0
     assert result.stats["generations"] == 8
-    assert len(result.stats["best_fitness_history"]) == 9
+    assert len(result.stats.history("best_fitness")) == 9
 
 
 def test_deterministic_per_seed(small_instance):
@@ -30,8 +30,25 @@ def test_deterministic_per_seed(small_instance):
 
 def test_best_fitness_history_monotone(small_instance):
     result = GRA(FAST, rng=2).run(small_instance)
-    history = result.stats["best_fitness_history"]
+    history = result.stats.history("best_fitness")
     assert all(b >= a - 1e-12 for a, b in zip(history, history[1:]))
+
+
+def test_stats_single_source_with_deprecated_history_keys(small_instance):
+    """The legacy list keys derive from convergence_records and warn."""
+    stats = GRA(FAST, rng=6).run(small_instance).stats
+    # one source of truth: the eager duplicate lists are gone
+    assert "best_fitness_history" not in stats.keys()
+    assert "mean_fitness_history" not in stats.keys()
+    records = stats["convergence_records"]
+    with pytest.warns(DeprecationWarning, match="best_fitness_history"):
+        legacy = stats["best_fitness_history"]
+    assert legacy == [r["best_fitness"] for r in records]
+    assert stats.history("mean_fitness") == [
+        r["mean_fitness"] for r in records
+    ]
+    with pytest.raises(KeyError):
+        stats["no_such_key"]
 
 
 def test_initial_population_valid_and_sized(small_instance):

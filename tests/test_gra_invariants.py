@@ -39,7 +39,7 @@ def test_elite_present_in_final_population(instance):
     result, population = gra.run_with_population(instance)
     best = population.best()
     assert best.fitness == pytest.approx(result.fitness)
-    history = result.stats["best_fitness_history"]
+    history = result.stats.history("best_fitness")
     assert best.fitness == pytest.approx(history[-1])
 
 
@@ -82,6 +82,6 @@ def test_same_seed_same_history(instance):
     a = GRA(params, rng=6).run(instance)
     b = GRA(params, rng=6).run(instance)
     assert (
-        a.stats["best_fitness_history"] == b.stats["best_fitness_history"]
+        a.stats.history("best_fitness") == b.stats.history("best_fitness")
     )
-    assert a.stats["mean_fitness_history"] == b.stats["mean_fitness_history"]
+    assert a.stats.history("mean_fitness") == b.stats.history("mean_fitness")

@@ -70,10 +70,10 @@ def test_gra_golden(small_instance):
     on, off = run(True), run(False)
     _identical(on, off)
     assert (
-        on.stats["best_fitness_history"] == off.stats["best_fitness_history"]
+        on.stats.history("best_fitness") == off.stats.history("best_fitness")
     )
     assert (
-        on.stats["mean_fitness_history"] == off.stats["mean_fitness_history"]
+        on.stats.history("mean_fitness") == off.stats.history("mean_fitness")
     )
 
 

@@ -114,15 +114,27 @@ def test_write_formats(tmp_path):
         profiler.write(str(collapsed), format="pprof")
 
 
-def test_global_profiler_lifecycle_enables_tracing():
+def test_global_profiler_lifecycle():
     assert global_profiler() is None
     assert current_profiler().enabled is False
     profiler = enable_global_profiling(sample_every=2)
     assert current_profiler() is profiler
-    assert global_tracer() is not None, "profiling needs the span stack"
+    # enabling the profiler mutates only its own global; the runtime
+    # layer (RunContext) brings up the tracer alongside it
+    assert global_tracer() is None
     assert enable_global_profiling() is profiler  # idempotent
     disable_global_profiling()
     assert current_profiler().enabled is False
+
+
+def test_run_context_couples_profiler_and_tracer():
+    from repro.runtime import RunContext
+
+    with RunContext(profile=True).activate() as ctx:
+        assert current_profiler() is ctx.profiler
+        assert global_tracer() is not None, "profiling needs the span stack"
+    assert global_tracer() is None
+    assert global_profiler() is None
 
 
 def _profiled_run() -> str:
@@ -132,6 +144,9 @@ def _profiled_run() -> str:
     from repro.workload import WorkloadSpec, generate_instance
     from repro.workload.trace import generate_trace
 
+    from repro.utils.tracing import enable_global_tracing
+
+    enable_global_tracing()  # the profiler samples the tracer's stack
     profiler = enable_global_profiling()
     try:
         instance = generate_instance(

@@ -53,14 +53,14 @@ def test_gra_convergence_matches_history(tmp_path):
     path, result = _gra_trace(tmp_path, generations=5)
     summary = summarize(path)
     rows = gra_convergence(summary)
-    history = result.stats["best_fitness_history"]
+    history = result.stats.history("best_fitness")
     # one gra.generation span per history entry (index 0 = seeding)
     assert len(rows) == len(history) == 6
     assert [row["generation"] for row in rows] == list(range(6))
     for row, best in zip(rows, history):
         assert row["best_fitness"] == pytest.approx(best)
         assert row["seconds"] >= 0.0
-    means = result.stats["mean_fitness_history"]
+    means = result.stats.history("mean_fitness")
     for row, mean in zip(rows, means):
         assert row["mean_fitness"] == pytest.approx(mean)
 
