@@ -22,10 +22,18 @@ aggregates of the requests flowing through each tree edge):
   a neighbour (more total requests arrive from that side than from its
   own), it moves there.
 
-Deviations from Wolfson et al., both forced by the DRP setting and
+Deviations from Wolfson et al., all forced by the DRP setting and
 documented here: the primary copy never contracts or switches away (the
-paper's primary-copy constraint), and an expansion is skipped when the
-target site lacks storage capacity (their model is capacity-free).
+paper's primary-copy constraint); an expansion is skipped when the
+target site lacks storage capacity (their model is capacity-free); and
+every adjustment is applied only if it does not increase the DRP
+objective ``D(X)``.  The last gate exists because the two cost models
+disagree at the fringe: ADR's local tests assume each request pays each
+tree edge it crosses exactly once, while the DRP model reads from the
+*nearest* replica and broadcasts every update to *all* replicas — a
+locally winning expansion can therefore raise ``D(X)``.  Starting from
+the primary-only scheme, the gate makes the final cost monotonically
+non-increasing, so ADR can never end up worse than no replication.
 """
 
 from __future__ import annotations
@@ -107,6 +115,7 @@ class ADRTree(ReplicationAlgorithm):
         instance: DRPInstance,
         scheme: ReplicationScheme,
         obj: int,
+        model: CostModel,
     ) -> bool:
         """One ADR adjustment round for ``obj``; True if anything changed."""
         reads = instance.reads[:, obj]
@@ -133,7 +142,13 @@ class ADRTree(ReplicationAlgorithm):
                 if reads_from_side > writes_from_rest:
                     if remaining[nbr] + 1e-9 < size:
                         continue  # capacity deviation: skip, do not fail
+                    before = model.total_cost(scheme.matrix)
                     scheme.add_replica(nbr, obj)
+                    if model.total_cost(scheme.matrix) > before + 1e-9:
+                        # D(X) deviation: the edge-local win loses under
+                        # read-nearest/write-broadcast accounting
+                        scheme.drop_replica(nbr, obj)
+                        continue
                     replicas.add(nbr)
                     remaining[nbr] -= size
                     changed = True
@@ -153,7 +168,11 @@ class ADRTree(ReplicationAlgorithm):
             writes_from_scheme = float(writes[scheme_side].sum())
             reads_served = float(reads[~scheme_side].sum())
             if writes_from_scheme > reads_served:
+                before = model.total_cost(scheme.matrix)
                 scheme.drop_replica(site, obj)
+                if model.total_cost(scheme.matrix) > before + 1e-9:
+                    scheme.add_replica(site, obj)  # D(X) deviation: keep
+                    continue
                 replicas.discard(site)
                 remaining[site] += size
                 changed = True
@@ -175,7 +194,7 @@ class ADRTree(ReplicationAlgorithm):
             epochs += 1
             changed = False
             for obj in range(instance.num_objects):
-                if self._epoch_for_object(instance, scheme, obj):
+                if self._epoch_for_object(instance, scheme, obj, model):
                     changed = True
             if not changed:
                 break

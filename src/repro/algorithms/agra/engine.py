@@ -33,6 +33,7 @@ from repro.core.cost import CostModel
 from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
 from repro.errors import ValidationError
+from repro.obs.ledger import current_ledger
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.timers import Stopwatch
 from repro.utils.tracing import current_tracer
@@ -159,6 +160,7 @@ class AGRA:
             )
         model = CostModel(instance, update_fraction=self._update_fraction)
         tracer = current_tracer()
+        ledger = current_ledger()
         watch = Stopwatch()
         micro_evaluations = 0
         with watch, tracer.span(
@@ -193,20 +195,30 @@ class AGRA:
                     )
                     span.set(evaluations=micro.evaluations)
                 micro_evaluations += micro.evaluations
-                if tracer.enabled:
+                if tracer.enabled or ledger.enabled:
                     # The allocation decision: the ranked placement the
                     # micro-GA voted best for this changed object.
                     before = int(current_scheme.matrix[:, k].sum())
                     after = int(
                         np.asarray(micro.columns[0], dtype=bool).sum()
                     )
-                    tracer.event(
-                        "agra.allocate",
-                        obj=k,
-                        replicas_before=before,
-                        replicas_after=after,
-                        candidates=len(micro.columns),
-                    )
+                    if tracer.enabled:
+                        tracer.event(
+                            "agra.allocate",
+                            obj=k,
+                            replicas_before=before,
+                            replicas_after=after,
+                            candidates=len(micro.columns),
+                        )
+                    if ledger.enabled:
+                        ledger.record(
+                            "decide",
+                            obj=k,
+                            algorithm="agra",
+                            replicas_before=before,
+                            replicas_after=after,
+                            candidates=len(micro.columns),
+                        )
                 with tracer.span("agra.transcribe", obj=k):
                     transcribe_population(
                         population, micro.columns, k, rng=self._rng,

@@ -33,6 +33,7 @@ from repro.core.incremental import IncrementalCostEvaluator
 from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
 from repro.errors import ValidationError
+from repro.obs.ledger import current_ledger
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.tracing import current_tracer
 
@@ -111,6 +112,7 @@ class SRA(ReplicationAlgorithm):
     ) -> Tuple[ReplicationScheme, Dict[str, object]]:
         if not isinstance(instance, DRPInstance):
             return self._solve_sparse(instance, model, tracer)
+        ledger = current_ledger()
         m, n = instance.num_sites, instance.num_objects
         cost = instance.cost
         sizes = instance.sizes
@@ -187,6 +189,15 @@ class SRA(ReplicationAlgorithm):
                         benefit=float(benefit[viable].max()),
                         step=steps,
                     )
+                if ledger.enabled:
+                    ledger.record(
+                        "add",
+                        obj=best,
+                        site=site,
+                        algorithm="sra",
+                        benefit=float(benefit[viable].max()),
+                        step=steps,
+                    )
                 replicas_created += 1
                 remaining[site] -= sizes[best]
                 candidates[site, best] = False
@@ -242,6 +253,7 @@ class SRA(ReplicationAlgorithm):
         matrices are never built, and neither is the evaluator's
         four-table two-nearest state.
         """
+        ledger = current_ledger()
         m, n = instance.num_sites, instance.num_objects
         cost = instance.cost
         sizes = instance.sizes
@@ -306,6 +318,15 @@ class SRA(ReplicationAlgorithm):
                         "sra.place",
                         site=site,
                         obj=best,
+                        benefit=float(benefit[viable].max()),
+                        step=steps,
+                    )
+                if ledger.enabled:
+                    ledger.record(
+                        "add",
+                        obj=best,
+                        site=site,
+                        algorithm="sra",
                         benefit=float(benefit[viable].max()),
                         step=steps,
                     )

@@ -15,7 +15,9 @@ Subcommands:
   figures);
 * ``trace``    — summarise a trace file written by ``--trace`` (top
   spans by self time, per-phase breakdown, GRA convergence, AGRA
-  decisions);
+  decisions; ``--causal`` adds happens-before analysis);
+* ``explain``  — print the decision chain for one object from a
+  ``--ledger`` file (see ``docs/causality.md``);
 * ``bench``    — record the micro-benchmark suite into the
   ``BENCH_history.jsonl`` ledger (``record``), render a markdown trend
   table (``report``), and fail on noise-adjusted wall-clock regressions
@@ -28,8 +30,8 @@ Subcommands:
 Algorithms are resolved through the capability-declaring
 :class:`~repro.runtime.registry.SolverRegistry`; the cross-cutting
 flags — ``--trace``/``--trace-format``, ``--profile`` family,
-``--openmetrics``/``--telemetry``, ``--metrics``, ``--faults`` and
-``--parallel`` — are defined once in
+``--openmetrics``/``--telemetry``, ``--metrics``, ``--ledger``,
+``--faults`` and ``--parallel`` — are defined once in
 :mod:`repro.runtime.cli_options` and accepted by every subcommand,
 wired through one :class:`~repro.runtime.context.RunContext` per
 invocation.  See ``docs/architecture.md``, ``docs/observability.md``
@@ -175,7 +177,42 @@ def build_parser() -> argparse.ArgumentParser:
         default=15,
         help="rows in the top-spans-by-self-time table (default 15)",
     )
+    trace.add_argument(
+        "--causal",
+        action="store_true",
+        help="append happens-before analysis: message flow, per-round "
+        "latency attribution and the critical path (docs/causality.md)",
+    )
     add_runtime_options(trace)
+
+    explain = sub.add_parser(
+        "explain",
+        help="print the decision chain for one object from a "
+        "--ledger file",
+    )
+    explain.add_argument("ledger_file", help="JSONL ledger (--ledger FILE)")
+    explain.add_argument(
+        "--object",
+        type=int,
+        required=True,
+        metavar="K",
+        help="object index whose placement history to explain",
+    )
+    explain.add_argument(
+        "--site",
+        type=int,
+        default=None,
+        metavar="I",
+        help="restrict the chain to decisions at site I",
+    )
+    explain.add_argument(
+        "--at",
+        type=float,
+        default=None,
+        metavar="T",
+        help="cut the chain at logical time T (epoch / round number)",
+    )
+    add_runtime_options(explain)
 
     bench = sub.add_parser(
         "bench",
@@ -550,6 +587,24 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     with runtime_session(args):
         summary = summarize(args.file)
         print(render_summary(summary, top=args.top))
+        if args.causal:
+            from repro.obs.causal import causal_sections
+
+            print()
+            print(causal_sections(args.file))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import read_ledger, render_explanation
+
+    with runtime_session(args):
+        entries = read_ledger(args.ledger_file)
+        print(
+            render_explanation(
+                entries, args.object, site=args.site, at=args.at
+            )
+        )
     return 0
 
 
@@ -807,6 +862,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "figures": _cmd_figures,
         "trace": _cmd_trace,
+        "explain": _cmd_explain,
         "bench": _cmd_bench,
         "conform": _cmd_conform,
     }

@@ -41,7 +41,7 @@ from repro.core.incremental import IncrementalCostEvaluator
 from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
 from repro.errors import ValidationError
-from repro.runtime.context import scoped_tracer
+from repro.runtime.context import scoped_ledger, scoped_tracer
 from repro.runtime.registry import default_registry
 
 #: relative tolerance for cross-algorithm cost comparisons (heuristic vs
@@ -411,9 +411,13 @@ def _check_adaptive_static(ctx: ConformanceContext) -> List[str]:
     ),
 )
 def _check_distributed_equivalence(ctx: ConformanceContext) -> List[str]:
-    report = default_registry().create(
-        "distributed-sra", leader_site=0
-    ).run(ctx.instance)
+    # The protocol is message-instrumented; run it under a scratch
+    # tracer so a caller's ``--trace`` session records the *scenario*,
+    # not the oracle's internal replays.
+    with scoped_tracer():
+        report = default_registry().create(
+            "distributed-sra", leader_site=0
+        ).run(ctx.instance)
     central = ctx.scheme.matrix
     distributed = report.scheme.matrix
     if not np.array_equal(central, distributed):
@@ -424,6 +428,41 @@ def _check_distributed_equivalence(ctx: ConformanceContext) -> List[str]:
             f"object {diff[1][0]})"
         ]
     return []
+
+
+@invariant(
+    "ledger-scheme-consistency",
+    "replaying the placement ledger's add/drop stream reproduces the "
+    "solved scheme bit for bit",
+)
+def _check_ledger_scheme_consistency(ctx: ConformanceContext) -> List[str]:
+    # A fresh solve under a scratch ledger (and scratch tracer, so a
+    # --trace session is untouched) captures the placement stream; SRA
+    # is deterministic, so the replayed scheme must equal ctx.scheme.
+    with scoped_tracer(), scoped_ledger() as ledger:
+        result = default_registry().create(
+            "sra", update_fraction=ctx.update_fraction
+        ).run(ctx.instance, ctx.model)
+    replayed = ReplicationScheme.primary_only(ctx.instance)
+    for action, site, obj in ledger.replay_ops():
+        if action == "add":
+            replayed.add_replica(site, obj)
+        else:
+            replayed.drop_replica(site, obj)
+    out: List[str] = []
+    if not np.array_equal(replayed.matrix, result.scheme.matrix):
+        diff = np.nonzero(replayed.matrix != result.scheme.matrix)
+        out.append(
+            f"ledger replay differs from the solved scheme at "
+            f"{len(diff[0])} cells (first: site {diff[0][0]}, "
+            f"object {diff[1][0]})"
+        )
+    if not np.array_equal(result.scheme.matrix, ctx.scheme.matrix):
+        out.append(
+            "re-solving under the scratch ledger changed the scheme — "
+            "ledger recording is not behaviour-neutral"
+        )
+    return out
 
 
 @invariant(

@@ -4,6 +4,16 @@ Messages are control traffic: the paper's cost model deliberately ignores
 them ("the communication cost of control messages has minor impact"), but
 the emulation counts them — and their cost-weighted volume — so that claim
 can actually be checked against the data traffic a scheme saves.
+
+When tracing is enabled, :meth:`MessageLog.record` additionally stamps a
+:class:`TraceContext` (parent span id + the sender's Lamport clock) onto
+every message and emits paired ``msg.send`` / ``msg.recv`` point events
+carrying a per-message flow key, so the happens-before DAG builder in
+:mod:`repro.obs.causal` can reconstruct token hops and the Chrome
+exporter can render them as Perfetto flow arrows.  The log keeps one
+Lamport clock per site, ticked on send and advanced with
+``max(local, sender)+1`` on receive; with tracing off none of this runs
+and the log's contents are byte-identical to earlier builds.
 """
 
 from __future__ import annotations
@@ -15,6 +25,26 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.utils.tracing import current_tracer
+
+#: point-event names emitted by :meth:`MessageLog.record`
+SEND_EVENT = "msg.send"
+RECV_EVENT = "msg.recv"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Causal metadata stamped onto a message at send time.
+
+    ``parent_span`` is the tracer span open at the send site (the DSRA
+    round, the monitor collection, ...); ``clock`` is the sender's
+    Lamport clock after the send tick.  Comparison is excluded so two
+    otherwise-equal messages stay equal regardless of when they were
+    sent.
+    """
+
+    parent_span: Optional[int] = None
+    clock: int = 0
 
 
 class MessageKind(enum.Enum):
@@ -37,6 +67,7 @@ class Message:
     kind: MessageKind
     size_units: float = 1.0
     payload: Optional[object] = None
+    trace: Optional[TraceContext] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.size_units < 0:
@@ -61,8 +92,18 @@ class MessageLog:
         }
         self.control_cost = 0.0
         self.data_cost = 0.0
+        #: per-site Lamport clocks (only advanced while tracing is on)
+        self.clocks: Dict[int, int] = {}
 
-    def record(self, message: Message) -> None:
+    def record(self, message: Message, *, lost: bool = False) -> None:
+        """Account one message; ``lost`` marks an in-flight drop.
+
+        A lost message still costs its send (the sender paid the
+        bandwidth) and still emits ``msg.send``, but never ticks the
+        receiver's clock and emits no ``msg.recv`` — in the causal DAG it
+        is a send with no matching receive.
+        """
+        seq = len(self.messages)
         self.messages.append(message)
         self.count_by_kind[message.kind] += 1
         cost = message.size_units * float(
@@ -72,6 +113,44 @@ class MessageLog:
             self.data_cost += cost
         else:
             self.control_cost += cost
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return
+        src, dst = message.sender, message.receiver
+        send_clock = self.clocks.get(src, 0) + 1
+        self.clocks[src] = send_clock
+        object.__setattr__(
+            message,
+            "trace",
+            TraceContext(parent_span=tracer.current_span_id, clock=send_clock),
+        )
+        flow = f"{src}->{dst}#{seq}"
+        tracer.event(
+            SEND_EVENT,
+            kind=message.kind.value,
+            src=src,
+            dst=dst,
+            seq=seq,
+            clock=send_clock,
+            size=float(message.size_units),
+            lost=bool(lost),
+            flow=flow,
+            flow_phase="s",
+        )
+        if lost:
+            return
+        recv_clock = max(self.clocks.get(dst, 0), send_clock) + 1
+        self.clocks[dst] = recv_clock
+        tracer.event(
+            RECV_EVENT,
+            kind=message.kind.value,
+            src=src,
+            dst=dst,
+            seq=seq,
+            clock=recv_clock,
+            flow=flow,
+            flow_phase="f",
+        )
 
     @property
     def total_messages(self) -> int:
@@ -96,4 +175,11 @@ class MessageLog:
         }
 
 
-__all__ = ["MessageKind", "Message", "MessageLog"]
+__all__ = [
+    "MessageKind",
+    "Message",
+    "MessageLog",
+    "TraceContext",
+    "SEND_EVENT",
+    "RECV_EVENT",
+]

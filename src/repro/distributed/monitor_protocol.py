@@ -136,55 +136,63 @@ class MonitorProtocol:
         round_index = self._rounds
         missing: List[int] = []
         retransmissions = 0
-        if faults is not None:
-            faults.advance_to(float(round_index))
-            if self.monitor_site in faults.crashed:
-                self._elect_monitor(round_index)
-
         messages = 0
         counters = 0
         objects_reported: set = set()
-        for site in range(m):
-            if mode == "full":
-                shipped = 2 * n
-                reported = set(range(n))
-                read_mask = None  # sentinel: commit the whole row
-                write_mask = None
-            else:
-                read_mask = self._changed_mask(
-                    self._known_reads[site], observed_reads[site]
-                )
-                write_mask = self._changed_mask(
-                    self._known_writes[site], observed_writes[site]
-                )
-                shipped = int(read_mask.sum() + write_mask.sum())
-                reported = set(
-                    int(k) for k in np.nonzero(read_mask | write_mask)[0]
-                )
-            if site == self.monitor_site:
-                # the monitor's own stats are local (and always delivered)
-                self._commit(
-                    site, observed_reads, observed_writes,
-                    read_mask, write_mask,
-                )
-                continue
-            if faults is not None and site in faults.crashed:
-                missing.append(site)  # a down site reports nothing
-                continue
-            if shipped == 0 and mode == "incremental":
-                continue  # nothing drifted: no message at all
-            delivered, attempts = self._deliver(site, shipped)
-            messages += attempts
-            counters += shipped * attempts  # retransmissions re-ship
-            retransmissions += attempts - 1
-            if delivered:
-                objects_reported |= reported
-                self._commit(
-                    site, observed_reads, observed_writes,
-                    read_mask, write_mask,
-                )
-            else:
-                missing.append(site)
+        with current_tracer().span(
+            "monitor.round", round=round_index, mode=mode
+        ) as round_span:
+            if faults is not None:
+                faults.advance_to(float(round_index))
+                if self.monitor_site in faults.crashed:
+                    self._elect_monitor(round_index)
+
+            for site in range(m):
+                if mode == "full":
+                    shipped = 2 * n
+                    reported = set(range(n))
+                    read_mask = None  # sentinel: commit the whole row
+                    write_mask = None
+                else:
+                    read_mask = self._changed_mask(
+                        self._known_reads[site], observed_reads[site]
+                    )
+                    write_mask = self._changed_mask(
+                        self._known_writes[site], observed_writes[site]
+                    )
+                    shipped = int(read_mask.sum() + write_mask.sum())
+                    reported = set(
+                        int(k) for k in np.nonzero(read_mask | write_mask)[0]
+                    )
+                if site == self.monitor_site:
+                    # the monitor's own stats are local (always delivered)
+                    self._commit(
+                        site, observed_reads, observed_writes,
+                        read_mask, write_mask,
+                    )
+                    continue
+                if faults is not None and site in faults.crashed:
+                    missing.append(site)  # a down site reports nothing
+                    continue
+                if shipped == 0 and mode == "incremental":
+                    continue  # nothing drifted: no message at all
+                delivered, attempts = self._deliver(site, shipped)
+                messages += attempts
+                counters += shipped * attempts  # retransmissions re-ship
+                retransmissions += attempts - 1
+                if delivered:
+                    objects_reported |= reported
+                    self._commit(
+                        site, observed_reads, observed_writes,
+                        read_mask, write_mask,
+                    )
+                else:
+                    missing.append(site)
+            round_span.set(
+                messages=messages,
+                retransmissions=retransmissions,
+                missing=len(missing),
+            )
         self._rounds += 1
         self.retransmissions += retransmissions
         exact = (mode == "full" and not missing) or (
@@ -257,6 +265,13 @@ class MonitorProtocol:
         attempts = 0
         for _ in self._attempt_slots():
             attempts += 1
+            # Judged before the log call (same RNG stream, same draw
+            # order) so the trace can mark the send as lost.
+            lost, _dup, _delay = self._faults.messages.judge()
+            # duplicated reports are idempotent re-deliveries: ignored
+            delivered = (
+                not lost and self.monitor_site not in self._faults.crashed
+            )
             self.log.record(
                 Message(
                     sender=site,
@@ -264,11 +279,10 @@ class MonitorProtocol:
                     kind=MessageKind.STATS,
                     size_units=float(shipped),
                     payload=None,
-                )
+                ),
+                lost=not delivered,
             )
-            lost, _dup, _delay = self._faults.messages.judge()
-            # duplicated reports are idempotent re-deliveries: ignored
-            if not lost and self.monitor_site not in self._faults.crashed:
+            if delivered:
                 return True, attempts
         if self.retry.on_exhaust == RAISE:
             raise RetryExhaustedError("STATS", self.monitor_site, attempts)

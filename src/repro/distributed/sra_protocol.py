@@ -60,6 +60,7 @@ from repro.distributed.messages import Message, MessageKind, MessageLog
 from repro.distributed.node import LeaderNode, SiteNode
 from repro.distributed.retry import DEFAULT_RETRY_POLICY, RAISE, RetryPolicy
 from repro.errors import ProtocolError, RetryExhaustedError, ValidationError
+from repro.obs.ledger import current_ledger
 from repro.sim.faults import FaultPlan, ProtocolFaults
 from repro.utils.profiler import current_profiler
 from repro.utils.telemetry import current_sink
@@ -144,25 +145,32 @@ class DistributedSRA:
         write_totals = instance.writes.sum(axis=0).astype(float)
 
         if self.fault_plan is not None:
-            return self._run_hardened(
-                instance, log, nodes, leader, write_totals
-            )
+            with current_ledger().scope(
+                algorithm="dsra", leader=self.leader_site
+            ):
+                return self._run_hardened(
+                    instance, log, nodes, leader, write_totals
+                )
 
         # ------------------------------------------------------------- #
         # Fault-free path: the original protocol, byte for byte.
         # ------------------------------------------------------------- #
+        tracer = current_tracer()
+        ledger = current_ledger()
         # Phase 1: statistics distribution.
-        for node in nodes:
-            log.record(
-                Message(
-                    sender=self.leader_site,
-                    receiver=node.site,
-                    kind=MessageKind.STATS,
-                    size_units=0.0,  # control traffic: cost ignored by D
-                    payload=None,
+        with ledger.scope(algorithm="dsra", leader=self.leader_site), \
+                tracer.span("dsra.stats", sites=instance.num_sites):
+            for node in nodes:
+                log.record(
+                    Message(
+                        sender=self.leader_site,
+                        receiver=node.site,
+                        kind=MessageKind.STATS,
+                        size_units=0.0,  # control traffic: cost ignored by D
+                        payload=None,
+                    )
                 )
-            )
-            node.receive_stats(write_totals)
+                node.receive_stats(write_totals)
 
         # Phase 2: token rounds.
         limit = self.max_rounds or (
@@ -181,29 +189,32 @@ class DistributedSRA:
                 )
             site = leader.next_site()
             assert site is not None
-            log.record(
-                Message(self.leader_site, site, MessageKind.TOKEN, 0.0)
-            )
-            node = nodes[site]
-            replicated = self._greedy_visit(
-                instance, log, nodes, node, site
-            )
-            if replicated is not None:
-                replications += 1
-            exhausted = node.exhausted
-            log.record(
-                Message(
-                    site,
-                    self.leader_site,
-                    MessageKind.TOKEN_RETURN,
-                    0.0,
-                    payload=exhausted,
+            with ledger.scope(
+                algorithm="dsra", leader=self.leader_site, round=rounds
+            ), tracer.span("dsra.round", round=rounds, site=site):
+                log.record(
+                    Message(self.leader_site, site, MessageKind.TOKEN, 0.0)
                 )
-            )
-            if exhausted:
-                leader.retire(site)
-            else:
-                leader.advance()
+                node = nodes[site]
+                replicated = self._greedy_visit(
+                    instance, log, nodes, node, site
+                )
+                if replicated is not None:
+                    replications += 1
+                exhausted = node.exhausted
+                log.record(
+                    Message(
+                        site,
+                        self.leader_site,
+                        MessageKind.TOKEN_RETURN,
+                        0.0,
+                        payload=exhausted,
+                    )
+                )
+                if exhausted:
+                    leader.retire(site)
+                else:
+                    leader.advance()
 
         return self._publish_report(
             DistributedSRAReport(
@@ -269,7 +280,8 @@ class DistributedSRA:
         if not node.exhausted:
             # Fetch source must be captured before the step updates SN.
             snapshot_nearest = node.nearest.copy()
-            replicated = node.greedy_step()
+            with current_tracer().span("dsra.greedy", site=site):
+                replicated = node.greedy_step()
             if replicated is not None:
                 source = int(snapshot_nearest[replicated])
         if replicated is None:
@@ -291,6 +303,14 @@ class DistributedSRA:
                 payload=replicated,
             )
         )
+        ledger = current_ledger()
+        if ledger.enabled:
+            ledger.record(
+                "add",
+                obj=replicated,
+                site=site,
+                source=source if source is not None else site,
+            )
         if history is not None:
             history.append((replicated, site))
         # Control: announce the new replica to every other site.
@@ -299,18 +319,20 @@ class DistributedSRA:
                 continue
             if crashed is not None and other.site in crashed:
                 continue  # resynchronised from history on recovery
-            log.record(
-                Message(
-                    site, other.site, MessageKind.REPLICATE, 0.0,
-                    payload=(replicated, site),
-                )
-            )
+            lost = False
             if faults is not None and other.site != site:
                 lost, dup, _ = faults.messages.judge()
                 if dup:
                     self._duplicates += 1  # observe_replication is a min
-                if lost:
-                    continue  # best-effort gossip: peer's SN goes stale
+            log.record(
+                Message(
+                    site, other.site, MessageKind.REPLICATE, 0.0,
+                    payload=(replicated, site),
+                ),
+                lost=lost,
+            )
+            if lost:
+                continue  # best-effort gossip: peer's SN goes stale
             other.observe_replication(replicated, site)
         return replicated
 
@@ -350,7 +372,10 @@ class DistributedSRA:
 
         def apply_transitions(time: float) -> None:
             nonlocal elections
+            ledger = current_ledger()
             for kind, site in faults.advance_to(time):
+                if ledger.enabled:
+                    ledger.record("fault", site=site, fault=kind, round=time)
                 if kind == "crash":
                     tracer.event(
                         "protocol.site_crash", site=site, round=time
@@ -408,21 +433,23 @@ class DistributedSRA:
                 )
 
         # Round 0: statistics distribution (retried per site).
-        apply_transitions(0.0)
-        for node in nodes:
-            if node.site == leader.site:
-                log.record(
-                    Message(leader.site, node.site, MessageKind.STATS, 0.0)
-                )
-                node.receive_stats(write_totals)
-                continue
-            if self._send_with_retry(
-                log, faults, policy, leader.site, node.site,
-                MessageKind.STATS, "STATS",
-            ):
-                node.receive_stats(write_totals)
-            else:
-                self._suspect(leader, suspected, node.site, tracer, 0)
+        with tracer.span("dsra.stats", sites=instance.num_sites) as stats_span:
+            apply_transitions(0.0)
+            for node in nodes:
+                if node.site == leader.site:
+                    log.record(
+                        Message(leader.site, node.site, MessageKind.STATS, 0.0)
+                    )
+                    node.receive_stats(write_totals)
+                    continue
+                if self._send_with_retry(
+                    log, faults, policy, leader.site, node.site,
+                    MessageKind.STATS, "STATS",
+                ):
+                    node.receive_stats(write_totals)
+                else:
+                    self._suspect(leader, suspected, node.site, tracer, 0)
+            stats_span.set(retries=self._retries, backoff=self._backoff)
 
         # Token rounds.
         limit = self.max_rounds or (
@@ -446,20 +473,30 @@ class DistributedSRA:
             site = leader.next_site()
             assert site is not None
             node = nodes[site]
-            outcome = self._token_round(
-                instance, log, nodes, faults, policy, leader, node,
-                history,
-            )
-            if outcome is None:
-                self._suspect(leader, suspected, site, tracer, rounds)
-                continue
-            replicated, exhausted = outcome
-            if replicated is not None:
-                replications += 1
-            if exhausted:
-                leader.retire(site)
-            else:
-                leader.advance()
+            retries_before = self._retries
+            backoff_before = self._backoff
+            with current_ledger().scope(round=rounds), tracer.span(
+                "dsra.round", round=rounds, site=site
+            ) as round_span:
+                outcome = self._token_round(
+                    instance, log, nodes, faults, policy, leader, node,
+                    history,
+                )
+                round_span.set(
+                    retries=self._retries - retries_before,
+                    backoff=self._backoff - backoff_before,
+                    suspected=outcome is None,
+                )
+                if outcome is None:
+                    self._suspect(leader, suspected, site, tracer, rounds)
+                    continue
+                replicated, exhausted = outcome
+                if replicated is not None:
+                    replications += 1
+                if exhausted:
+                    leader.retire(site)
+                else:
+                    leader.advance()
 
         return self._publish_report(
             DistributedSRAReport(
@@ -511,11 +548,16 @@ class DistributedSRA:
             self._backoff += delay
             if attempts > 1:
                 self._retries += 1
-            log.record(Message(sender, receiver, kind, 0.0))
+            # The fate is judged before the log call (same RNG stream,
+            # same draw order) so the trace can mark the send as lost.
             lost, dup, _ = faults.messages.judge()
             if dup:
                 self._duplicates += 1  # receivers dedup idempotently
-            if receiver not in faults.crashed and not lost:
+            delivered = receiver not in faults.crashed and not lost
+            log.record(
+                Message(sender, receiver, kind, 0.0), lost=not delivered
+            )
+            if delivered:
                 return True
         if policy.on_exhaust == RAISE:
             raise RetryExhaustedError(operation, receiver, attempts)
@@ -553,12 +595,16 @@ class DistributedSRA:
             self._backoff += delay
             if attempts > 1:
                 self._retries += 1
-            log.record(Message(leader.site, site, MessageKind.TOKEN, 0.0))
             if site == leader.site:
                 lost, dup = False, False  # local delivery is reliable
             else:
                 lost, dup, _ = faults.messages.judge()
-            if site in faults.crashed or lost:
+            arrived = site not in faults.crashed and not lost
+            log.record(
+                Message(leader.site, site, MessageKind.TOKEN, 0.0),
+                lost=not arrived,
+            )
+            if not arrived:
                 continue  # token never arrived; back off and resend
             if not processed:
                 processed = True
@@ -574,6 +620,15 @@ class DistributedSRA:
                 self._duplicates += 1
             delivered = False
             for _ in range(copies):
+                if site == leader.site:
+                    lost2, dup2 = False, False
+                else:
+                    lost2, dup2, _ = faults.messages.judge()
+                if dup2:
+                    self._duplicates += 1  # leader dedups by round
+                arrived2 = (
+                    not lost2 and leader.site not in faults.crashed
+                )
                 log.record(
                     Message(
                         site,
@@ -581,15 +636,10 @@ class DistributedSRA:
                         MessageKind.TOKEN_RETURN,
                         0.0,
                         payload=cached_reply,
-                    )
+                    ),
+                    lost=not arrived2,
                 )
-                if site == leader.site:
-                    lost2, dup2 = False, False
-                else:
-                    lost2, dup2, _ = faults.messages.judge()
-                if dup2:
-                    self._duplicates += 1  # leader dedups by round
-                if not lost2 and leader.site not in faults.crashed:
+                if arrived2:
                     delivered = True
             if delivered:
                 return (replicated, cached_reply)

@@ -10,18 +10,20 @@ Three pieces, layered between ``utils`` and every consumer:
 * :mod:`repro.runtime.registry` — :class:`SolverRegistry`, where every
   algorithm registers once with declared capabilities;
 * :mod:`repro.runtime.cli_options` — the one definition site of the
-  ``--trace/--profile/--openmetrics/--telemetry/--metrics/--faults/
-  --parallel`` flag groups and the :func:`runtime_session` wrapper.
+  ``--trace/--profile/--openmetrics/--telemetry/--metrics/--ledger/
+  --faults/--parallel`` flag groups and the :func:`runtime_session`
+  wrapper.
 
 This package is the only code allowed to mutate the process-wide
-tracer/telemetry/profiler/metrics singletons in ``repro.utils`` (the
-layering contract in ``tests/test_layering.py`` and CI's import-linter
-job enforce it).  See ``docs/architecture.md``.
+tracer/telemetry/profiler/metrics/ledger singletons in ``repro.utils``
+and ``repro.obs`` (the layering contract in ``tests/test_layering.py``
+and CI's import-linter job enforce it).  See ``docs/architecture.md``.
 """
 
 from repro.runtime.cli_options import (
     ALL_GROUPS,
     GROUP_FAULTS,
+    GROUP_LEDGER,
     GROUP_METRICS,
     GROUP_PARALLEL,
     GROUP_PROFILE,
@@ -38,6 +40,7 @@ from repro.runtime.context import (
     configure_parallelism,
     current_context,
     resolve_max_workers,
+    scoped_ledger,
     scoped_tracer,
 )
 from repro.runtime.registry import (
@@ -50,6 +53,7 @@ from repro.runtime.registry import (
 __all__ = [
     "ALL_GROUPS",
     "GROUP_FAULTS",
+    "GROUP_LEDGER",
     "GROUP_METRICS",
     "GROUP_PARALLEL",
     "GROUP_PROFILE",
@@ -68,5 +72,6 @@ __all__ = [
     "default_registry",
     "resolve_max_workers",
     "runtime_session",
+    "scoped_ledger",
     "scoped_tracer",
 ]

@@ -1,7 +1,8 @@
 """Shared command-line option layer for the cross-cutting flags.
 
 ``--trace``, ``--profile``, ``--openmetrics``/``--telemetry``,
-``--metrics``, ``--faults`` and ``--parallel`` used to be re-declared
+``--metrics``, ``--ledger``, ``--faults`` and ``--parallel`` used to be
+re-declared
 (with drifting help text and teardown order) by every subcommand that
 wanted them.  This module defines each flag group **once**;
 :func:`add_runtime_options` installs any subset on a parser, and
@@ -37,6 +38,7 @@ GROUP_TRACE = "trace"
 GROUP_PROFILE = "profile"
 GROUP_TELEMETRY = "telemetry"
 GROUP_METRICS = "metrics"
+GROUP_LEDGER = "ledger"
 GROUP_FAULTS = "faults"
 GROUP_PARALLEL = "parallel"
 
@@ -46,6 +48,7 @@ ALL_GROUPS = (
     GROUP_PROFILE,
     GROUP_TELEMETRY,
     GROUP_METRICS,
+    GROUP_LEDGER,
     GROUP_FAULTS,
     GROUP_PARALLEL,
 )
@@ -118,6 +121,16 @@ def _add_metrics(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_ledger(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="FILE",
+        help="record every replica add/drop/deferral with full "
+        "attribution to FILE as JSONL (inspect with `repro explain`)",
+    )
+
+
 def _add_faults(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--faults",
@@ -145,6 +158,7 @@ _ADDERS = {
     GROUP_PROFILE: _add_profile,
     GROUP_TELEMETRY: _add_telemetry,
     GROUP_METRICS: _add_metrics,
+    GROUP_LEDGER: _add_ledger,
     GROUP_FAULTS: _add_faults,
     GROUP_PARALLEL: _add_parallel,
 }
@@ -212,6 +226,7 @@ def context_from_args(
         exporters=exporters,
         metrics=GROUP_METRICS in groups and bool(args.metrics),
         registry=registry,
+        ledger=GROUP_LEDGER in groups and bool(args.ledger),
         fault_plan=fault_plan,
         max_workers=(
             args.parallel if GROUP_PARALLEL in groups else None
@@ -248,6 +263,9 @@ def runtime_session(
                 f"({args.profile_format})"
             )
             print(ctx.profiler.render())
+        if GROUP_LEDGER in groups and args.ledger:
+            ctx.ledger.write(args.ledger)
+            print(f"ledger written to {args.ledger} (jsonl)")
         ctx.teardown()
         if GROUP_TELEMETRY in groups:
             if args.openmetrics:
@@ -259,6 +277,7 @@ def runtime_session(
 __all__ = [
     "ALL_GROUPS",
     "GROUP_FAULTS",
+    "GROUP_LEDGER",
     "GROUP_METRICS",
     "GROUP_PARALLEL",
     "GROUP_PROFILE",

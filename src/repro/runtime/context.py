@@ -41,6 +41,14 @@ from typing import Iterator, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.obs.ledger import (
+    PlacementLedger,
+    current_ledger,
+    disable_global_ledger,
+    enable_global_ledger,
+    global_ledger,
+    temporary_ledger,
+)
 from repro.utils.metrics import (
     MetricsRegistry,
     disable_global_metrics,
@@ -164,6 +172,10 @@ class RunContext:
         :class:`~repro.utils.metrics.MetricsRegistry` (attached to the
         sink, *not* installed globally).  ``metrics=True`` without a
         registry enables the process-wide registry instead.
+    ledger:
+        Enable the process-wide
+        :class:`~repro.obs.ledger.PlacementLedger`, so every replica
+        add/drop/deferral records its attribution (``repro explain``).
     fault_plan:
         A :class:`~repro.sim.faults.FaultPlan` for commands that replay
         traces; carried, not interpreted.
@@ -187,6 +199,7 @@ class RunContext:
         exporters: Sequence[object] = (),
         metrics: bool = False,
         registry: Optional[MetricsRegistry] = None,
+        ledger: bool = False,
         fault_plan=None,
         max_workers: Optional[int] = None,
         cost_model_factory=None,
@@ -205,6 +218,7 @@ class RunContext:
         self._exporters: List[object] = list(exporters)
         self.metrics_requested = bool(metrics)
         self._registry = registry
+        self.ledger_requested = bool(ledger)
         self.fault_plan = fault_plan
         self.max_workers = max_workers
         self._cost_model_factory = cost_model_factory
@@ -215,12 +229,14 @@ class RunContext:
         self._profiler: Optional[DeterministicProfiler] = None
         self._sink: Optional[TelemetrySink] = None
         self._metrics: Optional[MetricsRegistry] = registry
+        self._ledger: Optional[PlacementLedger] = None
         # adoption bookkeeping
         self._installed = False
         self._owns_tracer = False
         self._owns_profiler = False
         self._owns_sink = False
         self._owns_metrics = False
+        self._owns_ledger = False
         self._previous_workers: Optional[int] = None
         self._restore_workers = False
         self._token = None
@@ -309,6 +325,13 @@ class RunContext:
         return self._metrics
 
     @property
+    def ledger(self) -> PlacementLedger:
+        """This context's ledger, else the process-wide/disabled one."""
+        if self._ledger is not None:
+            return self._ledger
+        return current_ledger()
+
+    @property
     def installed(self) -> bool:
         return self._installed
 
@@ -342,6 +365,9 @@ class RunContext:
             self._sink = enable_global_telemetry(registry=self._metrics)
             for exporter in self._exporters:
                 self._sink.attach_exporter(exporter)
+        if self.ledger_requested:
+            self._owns_ledger = global_ledger() is None
+            self._ledger = enable_global_ledger()
         if self.trace_requested or self.profile_requested:
             self._owns_tracer = global_tracer() is None
             self._tracer = enable_global_tracing(self.trace_capacity)
@@ -386,11 +412,14 @@ class RunContext:
             disable_global_telemetry()
         if self._owns_metrics:
             disable_global_metrics()
+        if self._owns_ledger:
+            disable_global_ledger()
         if self._restore_workers:
             configure_parallelism(self._previous_workers)
             self._restore_workers = False
         self._owns_profiler = self._owns_tracer = False
         self._owns_sink = self._owns_metrics = False
+        self._owns_ledger = False
         if self._token is not None:
             _ACTIVE.reset(self._token)
             self._token = None
@@ -434,6 +463,7 @@ class RunContext:
                 ("profile", self.profile_requested),
                 ("telemetry", self.telemetry_requested),
                 ("metrics", self._metrics is not None),
+                ("ledger", self.ledger_requested),
                 ("faults", self.fault_plan is not None),
             )
             if on
@@ -477,6 +507,19 @@ def scoped_tracer(capacity: int = DEFAULT_CAPACITY) -> Iterator[Tracer]:
         yield tracer
 
 
+@contextmanager
+def scoped_ledger() -> Iterator[PlacementLedger]:
+    """A fresh process-wide placement ledger for the duration of a block.
+
+    Whatever ledger was installed before (including none) is restored on
+    exit, even when the body raises.  The ``ledger-scheme-consistency``
+    conformance invariant uses this to capture a solve's placement
+    stream without clobbering a ``--ledger`` session.
+    """
+    with temporary_ledger() as ledger:
+        yield ledger
+
+
 __all__ = [
     "PARALLEL_ENV_VAR",
     "RunContext",
@@ -484,5 +527,6 @@ __all__ = [
     "configure_parallelism",
     "current_context",
     "resolve_max_workers",
+    "scoped_ledger",
     "scoped_tracer",
 ]

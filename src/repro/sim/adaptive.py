@@ -30,6 +30,7 @@ from repro.core.incremental import IncrementalCostEvaluator
 from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
 from repro.errors import ValidationError
+from repro.obs.ledger import current_ledger
 from repro.runtime.registry import default_registry
 from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.metrics import SimulationMetrics
@@ -193,19 +194,28 @@ class AdaptiveReplicationLoop:
                     params=self._agra_params,
                     gra_params=self._gra_params,
                 )
-                result = agra.adapt(
-                    epoch_instance,
-                    self.system.scheme,
-                    changed_objects=changed,
-                    seed_matrices=self._seed_matrices,
-                    mini_gra_generations=self._mini,
-                )
-                adaptation_seconds = result.runtime_seconds
-                # Only realise schemes that actually improve the new cost.
-                if result.total_cost < current_cost:
-                    migrations, deferred = self._realize(result.scheme, index)
-                    adapted = True
-                    self._assumed = epoch_instance
+                with current_ledger().scope(
+                    algorithm="agra",
+                    epoch=index,
+                    trigger="pattern-drift",
+                    changed_objects=len(changed),
+                ):
+                    result = agra.adapt(
+                        epoch_instance,
+                        self.system.scheme,
+                        changed_objects=changed,
+                        seed_matrices=self._seed_matrices,
+                        mini_gra_generations=self._mini,
+                    )
+                    adaptation_seconds = result.runtime_seconds
+                    # Only realise schemes that actually improve the new
+                    # cost.
+                    if result.total_cost < current_cost:
+                        migrations, deferred = self._realize(
+                            result.scheme, index
+                        )
+                        adapted = True
+                        self._assumed = epoch_instance
 
             records.append(
                 EpochRecord(
@@ -314,9 +324,13 @@ class AdaptiveReplicationLoop:
         """Retry a deferred realisation; returns migrations performed."""
         if self._pending is None:
             return 0
-        migrations = self.system.realize_scheme(
-            self._pending, skip_unreachable=True
-        )
+        ledger = current_ledger()
+        with ledger.scope(
+            algorithm="agra", epoch=epoch, trigger="fault-recovery"
+        ):
+            migrations = self.system.realize_scheme(
+                self._pending, skip_unreachable=True
+            )
         if np.array_equal(self.system.scheme.matrix, self._pending.matrix):
             self._pending = None
         if migrations:
@@ -326,6 +340,13 @@ class AdaptiveReplicationLoop:
                 migrations=migrations,
                 complete=self._pending is None,
             )
+            if ledger.enabled:
+                ledger.record(
+                    "resume",
+                    epoch=epoch,
+                    migrations=migrations,
+                    complete=self._pending is None,
+                )
         return migrations
 
     # ------------------------------------------------------------------ #

@@ -50,6 +50,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.errors import FaultPlanError, SimulationError
+from repro.obs.ledger import current_ledger
 from repro.utils.tracing import current_tracer
 
 #: transition kinds, in the order they apply at equal timestamps —
@@ -553,6 +554,7 @@ class FaultInjector:
 
     def _apply(self, transition: _Transition, system) -> None:
         tracer = current_tracer()
+        ledger = current_ledger()
         kind, spec = transition.kind, transition.spec
         self.events_applied += 1
         if kind == CRASH:
@@ -564,6 +566,11 @@ class FaultInjector:
                 tracer.event(
                     "fault.site_crash", site=spec.site, at=transition.time
                 )
+                if ledger.enabled:
+                    ledger.record(
+                        "fault", site=spec.site,
+                        fault="site_crash", time=transition.time,
+                    )
         elif kind == RECOVER:
             depth = self._crash_depth.get(spec.site, 0)
             self._crash_depth[spec.site] = depth - 1
@@ -576,6 +583,12 @@ class FaultInjector:
                     at=transition.time,
                     refetches=refetches,
                 )
+                if ledger.enabled:
+                    ledger.record(
+                        "fault", site=spec.site,
+                        fault="site_recovery", time=transition.time,
+                        refetches=refetches,
+                    )
         elif kind == DEGRADE:
             self._active_degradations.append(spec)
             self._push_links(system)
@@ -587,6 +600,12 @@ class FaultInjector:
                 factor=spec.factor,
                 at=transition.time,
             )
+            if ledger.enabled:
+                ledger.record(
+                    "fault", site=spec.src,
+                    fault="link_degradation", dst=spec.dst,
+                    factor=spec.factor, time=transition.time,
+                )
         elif kind == RESTORE:
             self._active_degradations.remove(spec)
             self._push_links(system)
@@ -597,6 +616,12 @@ class FaultInjector:
                 dst=spec.dst,
                 at=transition.time,
             )
+            if ledger.enabled:
+                ledger.record(
+                    "fault", site=spec.src,
+                    fault="link_restoration", dst=spec.dst,
+                    time=transition.time,
+                )
         elif kind == PARTITION:
             self._active_partitions.append(spec)
             self._push_links(system)
@@ -604,6 +629,11 @@ class FaultInjector:
             tracer.event(
                 "fault.partition", group=list(spec.group), at=transition.time
             )
+            if ledger.enabled:
+                ledger.record(
+                    "fault", fault="partition",
+                    group=list(spec.group), time=transition.time,
+                )
         elif kind == HEAL:
             self._active_partitions.remove(spec)
             self._push_links(system)
@@ -613,6 +643,11 @@ class FaultInjector:
                 group=list(spec.group),
                 at=transition.time,
             )
+            if ledger.enabled:
+                ledger.record(
+                    "fault", fault="partition_heal",
+                    group=list(spec.group), time=transition.time,
+                )
         else:  # pragma: no cover - transitions() only emits known kinds
             raise SimulationError(f"unknown fault transition kind {kind!r}")
 

@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.problem import DRPInstance
 from repro.core.scheme import ReplicationScheme
 from repro.errors import SimulationError, ValidationError
+from repro.obs.ledger import current_ledger
 from repro.sim.engine import Simulator
 from repro.sim.metrics import (
     MIGRATION,
@@ -453,18 +454,31 @@ class ReplicaSystem:
         migrations = 0
         degraded = bool(self._failed) or self._unreachable is not None
         deferred = False
+        ledger = current_ledger()
         # Drops first so capacity frees up before additions land.
         for site, obj in zip(*np.nonzero(current & ~desired)):
             site, obj = int(site), int(obj)
             if skip_unreachable and site in self._failed:
                 deferred = True  # cannot instruct a dead site to drop
+                if ledger.enabled:
+                    ledger.record(
+                        "defer", obj=obj, site=site,
+                        reason="drop-at-failed-site",
+                    )
                 continue
             self.scheme.drop_replica(site, obj)
+            if ledger.enabled:
+                ledger.record("drop", obj=obj, site=site)
         for site, obj in zip(*np.nonzero(desired & ~current)):
             site, obj = int(site), int(obj)
             if site in self._failed:
                 if skip_unreachable:
                     deferred = True
+                    if ledger.enabled:
+                        ledger.record(
+                            "defer", obj=obj, site=site,
+                            reason="add-at-failed-site",
+                        )
                     continue
                 raise SimulationError(
                     f"cannot place a replica at failed site {site}; "
@@ -475,6 +489,11 @@ class ReplicaSystem:
                 if source is None:
                     if skip_unreachable:
                         deferred = True  # no live source right now
+                        if ledger.enabled:
+                            ledger.record(
+                                "defer", obj=obj, site=site,
+                                reason="no-reachable-source",
+                            )
                         continue
                     raise SimulationError(
                         f"no reachable source replica for object {obj} "
@@ -490,6 +509,8 @@ class ReplicaSystem:
                 float(self._cost[site, source]),
             )
             self.scheme.add_replica(site, obj)
+            if ledger.enabled:
+                ledger.record("add", obj=obj, site=site, source=source)
             self._valid[site, obj] = True  # migrated copies are current
             migrations += 1
         if not deferred and not np.array_equal(

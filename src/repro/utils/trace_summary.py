@@ -3,8 +3,9 @@
 Loads a JSONL or Chrome trace written by :mod:`repro.utils.tracing` and
 renders, without leaving the terminal:
 
-* buffer statistics (record counts, a ``DROPPED`` warning when the ring
-  buffer truncated);
+* buffer statistics (record counts, a ``DROPPED`` warning — with a
+  per-kind breakdown — leading the report when the ring buffer
+  truncated);
 * the top span names by **self time** — wall-clock inside a span minus
   the wall-clock of its child spans, the quantity that actually ranks
   where time went;
@@ -72,6 +73,7 @@ class TraceSummary:
     roots: List[SpanNode]
     events: List[Record]
     dropped: int
+    dropped_by_kind: Dict[str, int] = field(default_factory=dict)
 
 
 def build_tree(records: Sequence[Record]) -> TraceSummary:
@@ -106,6 +108,10 @@ def summarize(path: str) -> TraceSummary:
     data = read_trace(path)
     summary = build_tree(data["records"])
     summary.dropped = int(data.get("dropped", 0))
+    summary.dropped_by_kind = {
+        str(k): int(v)
+        for k, v in (data.get("dropped_by_kind") or {}).items()
+    }
     return summary
 
 
@@ -232,15 +238,26 @@ def render_summary(
 ) -> str:
     """The full ``repro trace`` report as one printable block."""
     lines: List[str] = []
+    # A truncated trace leads the report: every number below it is a
+    # lower bound, so the reader must see the warning first.
+    if summary.dropped:
+        lines.append(
+            f"DROPPED: ring buffer truncated {summary.dropped:,} "
+            "records (raise the tracer capacity for a complete trace)"
+        )
+        if summary.dropped_by_kind:
+            breakdown = ", ".join(
+                f"{kind}={count:,}"
+                for kind, count in sorted(
+                    summary.dropped_by_kind.items(),
+                    key=lambda item: (-item[1], item[0]),
+                )
+            )
+            lines.append(f"  dropped by kind: {breakdown}")
     lines.append(
         f"trace: {len(summary.spans):,} spans, "
         f"{len(summary.events):,} events, {len(summary.roots):,} roots"
     )
-    if summary.dropped:
-        lines.append(
-            f"  DROPPED: ring buffer truncated {summary.dropped:,} "
-            "records (raise the tracer capacity for a complete trace)"
-        )
     if not summary.spans and not summary.events:
         lines.append(
             "  no spans recorded — the traced run emitted nothing. "

@@ -13,8 +13,9 @@ module answers *when* and *why*.  A :class:`Tracer` records
 
 Records land in an in-memory ring buffer of bounded capacity: tracing a
 long run costs O(capacity) memory, and once the buffer wraps, the oldest
-records are discarded and a ``dropped`` count is carried into every
-export so truncation is never silent.
+records are discarded and a ``dropped`` count — plus a per-kind
+breakdown keyed by the record name's first dotted segment — is carried
+into every export so truncation is never silent.
 
 Traces export as JSONL (one record per line, ``meta`` line first) or as
 the Chrome ``trace_event`` JSON format, loadable in Perfetto or
@@ -169,6 +170,7 @@ class Tracer:
         self.capacity = capacity
         self.pid = os.getpid()
         self.dropped = 0
+        self.dropped_by_kind: Dict[str, int] = {}
         self._buffer: Deque[Record] = deque(maxlen=capacity)
         self._stack: List[_SpanHandle] = []
         self._next_id = 0
@@ -191,6 +193,8 @@ class Tracer:
     def _append(self, record: Record) -> None:
         if len(self._buffer) == self.capacity:
             self.dropped += 1
+            kind = _record_kind(self._buffer[0])
+            self.dropped_by_kind[kind] = self.dropped_by_kind.get(kind, 0) + 1
         self._buffer.append(record)
 
     def span(self, name: str, **attrs: object):
@@ -243,6 +247,7 @@ class Tracer:
         self._buffer.clear()
         self._stack.clear()
         self.dropped = 0
+        self.dropped_by_kind = {}
         self._next_id = 0
 
     def snapshot(self) -> Record:
@@ -250,6 +255,7 @@ class Tracer:
         return {
             "records": [dict(r) for r in self._buffer],
             "dropped": self.dropped,
+            "dropped_by_kind": dict(self.dropped_by_kind),
             "pid": self.pid,
         }
 
@@ -284,6 +290,10 @@ class Tracer:
                 record["parent"] = parent_id
             self._append(record)
         self.dropped += int(snapshot.get("dropped", 0))
+        for kind, count in (snapshot.get("dropped_by_kind") or {}).items():
+            self.dropped_by_kind[kind] = (
+                self.dropped_by_kind.get(kind, 0) + int(count)
+            )
         return remap
 
     # ------------------------------------------------------------------ #
@@ -296,6 +306,7 @@ class Tracer:
             "pid": self.pid,
             "records": len(self._buffer),
             "dropped": self.dropped,
+            "dropped_by_kind": dict(self.dropped_by_kind),
         }
 
     def write_jsonl(self, fp: IO[str]) -> None:
@@ -309,14 +320,27 @@ class Tracer:
 
         Spans become complete (``ph="X"``) events with microsecond
         timestamps; events become instant (``ph="i"``) events.  The span
-        id and parent id ride along in ``args`` so the exact tree
+        id and parent id ride along in ``args`` (with user attributes
+        namespaced under ``args["attrs"]``) so the exact tree — including
+        attributes that happen to be named ``id`` or ``parent`` —
         round-trips through :func:`read_trace`.
+
+        Events carrying the reserved ``flow`` / ``flow_phase`` attributes
+        (message sends and receives do) additionally emit Chrome flow
+        entries (``ph`` in ``s``/``t``/``f``) so hops render as arrows in
+        Perfetto; :func:`read_trace` skips those companion entries, the
+        ``i`` event already carries the flow attributes.
         """
+        entries: List[Record] = []
+        flow_ids: Dict[object, int] = {}
+        for record in self._buffer:
+            entries.append(_record_to_chrome(record))
+            flow = _flow_entry(record, flow_ids)
+            if flow is not None:
+                entries.append(flow)
         json.dump(
             {
-                "traceEvents": [
-                    _record_to_chrome(record) for record in self._buffer
-                ],
+                "traceEvents": entries,
                 "displayTimeUnit": "ms",
                 "otherData": self._meta(),
             },
@@ -337,9 +361,42 @@ class Tracer:
         return path
 
 
+def _record_kind(record: Record) -> str:
+    """Drop-accounting bucket: the record name's first dotted segment."""
+    name = str(record.get("name") or "")
+    head = name.split(".", 1)[0]
+    return head or str(record.get("type", "unknown"))
+
+
+def _flow_entry(record: Record, flow_ids: Dict[object, int]) -> Optional[Record]:
+    """The Chrome flow companion for a ``flow``-attributed event, if any."""
+    if record.get("type") != EVENT:
+        return None
+    attrs = record.get("attrs") or {}
+    phase = attrs.get("flow_phase")
+    if "flow" not in attrs or phase not in ("s", "t", "f"):
+        return None
+    key = attrs["flow"]
+    flow_id = flow_ids.setdefault(key, len(flow_ids) + 1)
+    entry: Record = {
+        "name": str(attrs.get("flow_name", record.get("name", "flow"))),
+        "cat": "flow",
+        "ph": phase,
+        "id": flow_id,
+        "ts": float(record["time"]) * 1e6,
+        "pid": record.get("pid", 0),
+        "tid": record.get("pid", 0),
+    }
+    if phase == "f":
+        entry["bp"] = "e"  # bind to the enclosing slice, matching the send
+    return entry
+
+
 def _record_to_chrome(record: Record) -> Record:
-    args = dict(record.get("attrs") or {})
-    args["id"] = record.get("id")
+    args: Record = {
+        "id": record.get("id"),
+        "attrs": dict(record.get("attrs") or {}),
+    }
     if record.get("parent") is not None:
         args["parent"] = record.get("parent")
     if record["type"] == SPAN:
@@ -368,14 +425,24 @@ def _record_to_chrome(record: Record) -> Record:
 
 def _chrome_to_record(entry: Record) -> Optional[Record]:
     args = dict(entry.get("args") or {})
-    span_id = args.pop("id", None)
-    parent = args.pop("parent", None)
+    if isinstance(args.get("attrs"), dict):
+        # Current format: metadata flat, user attributes namespaced.
+        span_id = args.get("id")
+        parent = args.get("parent")
+        attrs = dict(args["attrs"])
+    else:
+        # Legacy format (pre-namespacing): attributes and metadata share
+        # one flat dict; attrs named id/parent were clobbered at export,
+        # so popping here recovers everything the file still holds.
+        span_id = args.pop("id", None)
+        parent = args.pop("parent", None)
+        attrs = args
     common = {
         "id": span_id,
         "parent": parent,
         "name": entry.get("name", ""),
         "pid": entry.get("pid", 0),
-        "attrs": args,
+        "attrs": attrs,
     }
     if entry.get("ph") == "X":
         start = float(entry.get("ts", 0.0)) / 1e6
@@ -397,10 +464,10 @@ def _chrome_to_record(entry: Record) -> Optional[Record]:
 def read_trace(path: str) -> Dict[str, object]:
     """Load a trace file written by :meth:`Tracer.write` (either format).
 
-    Returns ``{"records": [...], "dropped": int}`` with records in the
-    original buffer order.  The format is sniffed from the content: a
-    JSON object with ``traceEvents`` is Chrome format, anything else is
-    JSONL.
+    Returns ``{"records": [...], "dropped": int, "dropped_by_kind": {...}}``
+    with records in the original buffer order.  The format is sniffed
+    from the content: a JSON object with ``traceEvents`` is Chrome
+    format, anything else is JSONL.
     """
     try:
         with open(path, "r", encoding="utf-8") as fp:
@@ -422,12 +489,15 @@ def read_trace(path: str) -> Dict[str, object]:
             )
             if rec is not None
         ]
-        dropped = int(
-            (data.get("otherData") or {}).get("dropped", 0)
-        )
-        return {"records": records, "dropped": dropped}
+        meta = data.get("otherData") or {}
+        return {
+            "records": records,
+            "dropped": int(meta.get("dropped", 0)),
+            "dropped_by_kind": dict(meta.get("dropped_by_kind") or {}),
+        }
     records: List[Record] = []
     dropped = 0
+    dropped_by_kind: Dict[str, int] = {}
     for line in content.splitlines():
         line = line.strip()
         if not line:
@@ -440,9 +510,14 @@ def read_trace(path: str) -> Dict[str, object]:
             ) from None
         if record.get("type") == META:
             dropped = int(record.get("dropped", 0))
+            dropped_by_kind = dict(record.get("dropped_by_kind") or {})
             continue
         records.append(record)
-    return {"records": records, "dropped": dropped}
+    return {
+        "records": records,
+        "dropped": dropped,
+        "dropped_by_kind": dropped_by_kind,
+    }
 
 
 # --------------------------------------------------------------------- #

@@ -51,6 +51,7 @@ def _no_leaked_globals():
     leaked singletons are cleared here regardless, so one offender
     cannot cascade.
     """
+    from repro.obs.ledger import disable_global_ledger, global_ledger
     from repro.utils.metrics import disable_global_metrics, global_metrics
     from repro.utils.profiler import (
         disable_global_profiling,
@@ -70,6 +71,7 @@ def _no_leaked_globals():
             ("telemetry sink", global_telemetry),
             ("profiler", global_profiler),
             ("metrics registry", global_metrics),
+            ("placement ledger", global_ledger),
         )
         if get() is not None
     ]
@@ -77,6 +79,7 @@ def _no_leaked_globals():
     disable_global_tracing()
     disable_global_telemetry()
     disable_global_metrics()
+    disable_global_ledger()
     if leaked:
         pytest.fail(
             "test leaked process-wide singletons: " + ", ".join(leaked)

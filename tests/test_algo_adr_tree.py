@@ -146,6 +146,24 @@ def test_read_only_tree_fully_replicates():
     assert result.savings_percent == pytest.approx(100.0)
 
 
+def test_never_worse_than_primary_only_regression():
+    # Regression (hypothesis-found): ADR's edge-local expansion test can
+    # approve a replica that *raises* D(X) under read-nearest/
+    # write-broadcast accounting; the cost gate must veto it.  Before
+    # the gate this setting converged to savings of about -1.22%.
+    topology = random_tree_topology(8, rng=2956)
+    cost = floyd_warshall(topology.adjacency_matrix())
+    instance = generate_instance(
+        WorkloadSpec(num_sites=8, num_objects=3, update_ratio=0.10,
+                     capacity_ratio=0.5),
+        rng=2957,
+        cost=cost,
+    )
+    result = ADRTree(topology).run(instance)
+    assert result.savings_percent >= 0.0
+    assert result.stats["converged"]
+
+
 def test_competitive_with_sra_on_trees():
     topology, instance = tree_instance(num_sites=14, num_objects=20,
                                        update_ratio=0.05, seed=21)

@@ -111,6 +111,7 @@ class TestInvariantRegistry:
             "eq5-eq6-consistency",
             "adaptive-static-no-worsening",
             "distributed-sra-equivalence",
+            "ledger-scheme-consistency",
             "fault-replay-determinism",
         ]
 

@@ -8,10 +8,11 @@ which CI additionally runs on a runner that has the tool installed):
    kernel layers) may never reach into ``sim``/``experiments``/``cli``/
    ``runtime``.
 2. **Singleton ownership** — the process-wide tracer / telemetry sink /
-   profiler / metrics registry may be mutated (``enable_global_*`` /
-   ``disable_global_*`` / ``temporary_tracer``) only by their defining
-   modules in ``repro.utils`` and by ``repro/runtime/``.  Everything
-   else must go through :class:`repro.runtime.context.RunContext`.
+   profiler / metrics registry / placement ledger may be mutated
+   (``enable_global_*`` / ``disable_global_*`` / ``temporary_*``) only
+   by their defining modules in ``repro.utils`` / ``repro.obs`` and by
+   ``repro/runtime/``.  Everything else must go through
+   :class:`repro.runtime.context.RunContext`.
 """
 
 from __future__ import annotations
@@ -25,6 +26,11 @@ SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src", "repro")
 #: layer -> layers it must NOT import (directly or lazily)
 FORBIDDEN_IMPORTS: Dict[str, Set[str]] = {
     "utils": {
+        "core", "algorithms", "workload", "network", "sim",
+        "experiments", "cli", "runtime", "conformance", "analysis",
+        "distributed", "io", "obs",
+    },
+    "obs": {
         "core", "algorithms", "workload", "network", "sim",
         "experiments", "cli", "runtime", "conformance", "analysis",
         "distributed", "io",
@@ -64,6 +70,9 @@ MUTATORS: Dict[str, str] = {
     "disable_global_profiling": "utils/profiler.py",
     "enable_global_metrics": "utils/metrics.py",
     "disable_global_metrics": "utils/metrics.py",
+    "enable_global_ledger": "obs/ledger.py",
+    "disable_global_ledger": "obs/ledger.py",
+    "temporary_ledger": "obs/ledger.py",
 }
 
 

@@ -300,3 +300,141 @@ def test_self_time_clamped_for_concurrent_children():
     summary = build_tree(records)
     (root,) = summary.roots
     assert root.self_time == 0.0
+
+
+# --------------------------------------------------------------------- #
+# per-kind drop accounting
+# --------------------------------------------------------------------- #
+def test_dropped_by_kind_tracks_evicted_record_kinds(tmp_path):
+    tracer = Tracer(capacity=3)
+    with tracer.span("sra.solve"):
+        for i in range(4):
+            tracer.event("msg.send", i=i)
+    # Four events overflow a 3-slot ring once; closing the span evicts
+    # one more event.  Both evictions were msg.* records.
+    assert tracer.dropped == 2
+    assert tracer.dropped_by_kind == {"msg": 2}
+    for fmt in (FORMAT_JSONL, FORMAT_CHROME):
+        path = str(tmp_path / f"t.{fmt}")
+        tracer.write(path, format=fmt)
+        data = read_trace(path)
+        assert data["dropped"] == 2
+        assert data["dropped_by_kind"] == {"msg": 2}
+
+
+def test_dropped_by_kind_buckets_by_leading_name_segment():
+    tracer = Tracer(capacity=1)
+    tracer.event("msg.send")
+    tracer.event("fault.site_crash")  # evicts the msg event
+    tracer.event("tick")  # evicts the fault event
+    tracer.event("final")  # evicts the un-dotted event
+    assert tracer.dropped == 3
+    assert tracer.dropped_by_kind == {"msg": 1, "fault": 1, "tick": 1}
+
+
+def test_merge_snapshot_accumulates_dropped_by_kind():
+    worker = Tracer(capacity=1)
+    worker.event("msg.send")
+    worker.event("msg.send")
+    parent = Tracer(capacity=8)
+    parent.event("gra.tick")
+    parent_drops = Tracer(capacity=1)
+    parent_drops.event("gra.tick")
+    parent_drops.event("gra.tick")
+    parent.merge_snapshot(parent_drops.snapshot())
+    parent.merge_snapshot(worker.snapshot())
+    assert parent.dropped == 2
+    assert parent.dropped_by_kind == {"msg": 1, "gra": 1}
+
+
+def test_reset_clears_dropped_by_kind():
+    tracer = Tracer(capacity=1)
+    tracer.event("a")
+    tracer.event("b")
+    assert tracer.dropped_by_kind
+    tracer.reset()
+    assert tracer.dropped_by_kind == {}
+
+
+# --------------------------------------------------------------------- #
+# chrome export: reserved attr names, envelope, flow arrows
+# --------------------------------------------------------------------- #
+def test_chrome_round_trip_with_reserved_attr_names(tmp_path):
+    # Regression: attrs named `id`/`parent`/`name` used to clobber the
+    # flat Chrome args and corrupt the reloaded tree.
+    tracer = Tracer()
+    with tracer.span("outer", id=99, parent="custom") as outer:
+        tracer.event("tick", id=7, parent=3)
+    path = str(tmp_path / "trace.json")
+    tracer.write(path, format=FORMAT_CHROME)
+    loaded = read_trace(path)["records"]
+    by_name = {r["name"]: r for r in loaded}
+    assert by_name["outer"]["attrs"] == {"id": 99, "parent": "custom"}
+    assert by_name["outer"]["parent"] is None
+    assert by_name["tick"]["attrs"] == {"id": 7, "parent": 3}
+    assert by_name["tick"]["parent"] == outer.id
+
+
+def test_read_trace_accepts_trace_events_envelope(tmp_path):
+    # A Chrome trace is a JSON envelope; extra leading keys before
+    # traceEvents must not confuse the format sniffer.
+    envelope = {
+        "displayTimeUnit": "ms",
+        "otherData": {"tool": "repro"},
+        "traceEvents": [
+            {
+                "name": "solo",
+                "ph": "X",
+                "ts": 0.0,
+                "dur": 1000.0,
+                "pid": 0,
+                "tid": 0,
+                "args": {"id": 0, "attrs": {"k": 1}},
+            }
+        ],
+    }
+    path = str(tmp_path / "envelope.json")
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(envelope, fp)
+    data = read_trace(path)
+    (record,) = data["records"]
+    assert record["type"] == SPAN
+    assert record["name"] == "solo"
+    assert record["attrs"] == {"k": 1}
+
+
+def test_chrome_export_emits_flow_arrows(tmp_path):
+    tracer = Tracer()
+    with tracer.span("round"):
+        tracer.event(
+            "msg.send", src=0, dst=1, flow="0->1#0", flow_phase="s"
+        )
+        tracer.event(
+            "msg.recv", src=0, dst=1, flow="0->1#0", flow_phase="f"
+        )
+    path = str(tmp_path / "trace.json")
+    tracer.write(path, format=FORMAT_CHROME)
+    entries = json.load(open(path, encoding="utf-8"))["traceEvents"]
+    flows = [e for e in entries if e.get("cat") == "flow"]
+    assert [e["ph"] for e in flows] == ["s", "f"]
+    assert flows[0]["id"] == flows[1]["id"]
+    assert flows[1]["bp"] == "e"  # bind the arrow to the enclosing slice
+    # flow arrows are presentation-only: the reloaded records are just
+    # the span and the two point events
+    names = [r["name"] for r in read_trace(path)["records"]]
+    assert names == ["msg.send", "msg.recv", "round"]
+
+
+def test_flow_ids_are_distinct_per_flow_key(tmp_path):
+    tracer = Tracer()
+    tracer.event("msg.send", flow="0->1#0", flow_phase="s")
+    tracer.event("msg.send", flow="0->2#1", flow_phase="s")
+    tracer.event("msg.recv", flow="0->1#0", flow_phase="f")
+    path = str(tmp_path / "trace.json")
+    tracer.write(path, format=FORMAT_CHROME)
+    entries = json.load(open(path, encoding="utf-8"))["traceEvents"]
+    flows = [e for e in entries if e.get("cat") == "flow"]
+    ids = {e["ph"]: e["id"] for e in flows if e["ph"] == "s"}
+    first, second, recv = flows
+    assert first["id"] != second["id"]
+    assert recv["id"] == first["id"]
